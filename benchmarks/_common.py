@@ -1,0 +1,60 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every bench regenerates one paper table or figure: it builds the needed
+synthetic chains (cached at session scope — several figures share the
+same chains), times the analysis code with pytest-benchmark, and writes
+the rendered table/series to ``benchmarks/output/<name>.txt`` so the
+reproduced numbers can be inspected and diffed.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+from repro.workload.generator import GeneratedChain, generate_chain
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+# Per-chain (num_blocks, scale) used by the benches: enough volume for
+# stable rates while keeping the full harness under a few minutes.
+BENCH_SHAPES = {
+    "bitcoin": (140, 0.5),
+    "bitcoin_cash": (120, 1.0),
+    "litecoin": (120, 1.0),
+    "dogecoin": (120, 1.0),
+    "ethereum": (160, 1.0),
+    "ethereum_classic": (160, 1.0),
+    "zilliqa": (120, 1.0),
+}
+
+BENCH_SEED = 2020  # the paper's year
+
+
+@lru_cache(maxsize=None)
+def get_chain(name: str) -> GeneratedChain:
+    """Build (once per session) the bench instance of chain *name*."""
+    num_blocks, scale = BENCH_SHAPES[name]
+    return generate_chain(
+        name, num_blocks=num_blocks, seed=BENCH_SEED, scale=scale
+    )
+
+
+def write_output(name: str, text: str) -> Path:
+    """Persist rendered bench output under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def chains():
+    """Accessor for cached bench chains."""
+    return get_chain

@@ -1,0 +1,53 @@
+"""Fig. 10: potential execution speed-ups for Ethereum.
+
+Panel (a) combines Eq. 1 with the single-transaction conflict series of
+Fig. 4b; panel (b) combines Eq. 2 with the group conflict series of
+Fig. 4c; both for 4, 8 and 64 cores.
+
+Shape targets from the paper: single-transaction speed-ups are modest
+(1-2x, occasionally below 1x); group speed-ups reach ~6x at 8 cores and
+~8x at 64 cores; and the paper's headline — "up to 6x speed-ups in
+Ethereum ... using 8 cores".
+"""
+
+from __future__ import annotations
+
+from _common import get_chain, write_output
+
+from repro.analysis.figures import figure10
+from repro.analysis.report import render_series_table
+
+
+def test_fig10_speedups(benchmark):
+    history = get_chain("ethereum").history
+    panels = benchmark(figure10, history, cores=(4, 8, 64), num_buckets=16)
+
+    out = []
+    out.append(render_series_table(
+        panels["speculative"].series,
+        title="Fig. 10a: single-transaction concurrency speed-ups (Eq. 1)",
+        value_format="{:10.3f}",
+    ))
+    out.append(render_series_table(
+        panels["grouped"].series,
+        title="Fig. 10b: group concurrency speed-ups (Eq. 2)",
+        value_format="{:10.3f}",
+    ))
+    write_output("fig10_speedups", "\n\n".join(out))
+
+    spec8 = panels["speculative"].series["8_cores"]
+    group8 = panels["grouped"].series["8_cores"]
+    group64 = panels["grouped"].series["64_cores"]
+
+    # Panel (a): modest speed-ups, between ~1x and ~2.5x.
+    assert all(0.8 <= value <= 2.5 for value in spec8.values)
+
+    # Panel (b): group concurrency is the big win.
+    assert max(group8.values) > 2.0 * max(spec8.values)
+    peak8 = max(group8.values)
+    assert 3.0 <= peak8 <= 8.0  # the "up to 6x with 8 cores" regime
+    assert max(group64.values) >= peak8  # 64 cores extend the ceiling
+    assert max(group64.values) <= 64.0
+
+    # The late-history plateau (l ~ 0.2) implies ~4-6x at 8 cores.
+    assert 2.5 <= group8.tail_mean(5) <= 7.0

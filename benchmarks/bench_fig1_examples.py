@@ -1,0 +1,75 @@
+"""Fig. 1 + §V-A worked examples: the paper's two Ethereum blocks.
+
+Regenerates the TDGs of blocks 1000007 and 1000124, their conflict
+rates, and the speed-up numbers the paper works through by hand,
+benchmarking TDG construction on the Fig. 1b block.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _common import write_output
+
+from repro.analysis.examples import (
+    figure_1a_block,
+    figure_1b_block,
+    figure_1b_edges,
+)
+from repro.analysis.report import format_rate, render_table
+from repro.core.speedup import speculative_speedup_exact
+from repro.core.tdg import account_tdg_from_edges
+
+
+def test_fig1_examples(benchmark):
+    tdg = benchmark(account_tdg_from_edges, figure_1b_edges())
+    assert tdg.lcc_size == 9
+
+    a = figure_1a_block()
+    b = figure_1b_block()
+    rows = [
+        (
+            "1000007 (Fig. 1a)",
+            a.tdg.num_transactions,
+            len(a.tdg.groups),
+            format_rate(a.metrics.single_conflict_rate),
+            format_rate(a.metrics.group_conflict_rate),
+            "40% / 40%",
+        ),
+        (
+            "1000124 (Fig. 1b)",
+            b.total_with_coinbase,
+            len(b.tdg.groups) + 1,  # + coinbase component, as the paper counts
+            format_rate(b.single_conflict_rate_with_coinbase),
+            format_rate(b.group_conflict_rate_with_coinbase),
+            "87.5% / 56.25%",
+        ),
+    ]
+    table = render_table(
+        ["block", "txs", "components", "single rate", "group rate",
+         "paper reports"],
+        rows,
+        title="Fig. 1 worked examples",
+    )
+
+    speedups = render_table(
+        ["block", "cores", "model speed-up", "paper reports"],
+        [
+            ("1000007", "n >= 5",
+             f"{speculative_speedup_exact(5, 8, 0.4):.4f}", "5/3 = 1.67"),
+            ("1000124", "n >= 16",
+             f"{speculative_speedup_exact(16, 16, 0.875):.4f}",
+             "16/15 = 1.07"),
+            ("1000124", "8-15",
+             f"{speculative_speedup_exact(16, 8, 0.875):.4f}", "1.00"),
+            ("1000124", "4",
+             f"{speculative_speedup_exact(16, 4, 0.875):.4f}", "< 1"),
+        ],
+        title="§V-A worked speed-ups (Eq. 1, exact phase counting)",
+    )
+    write_output("fig1_examples", table + "\n\n" + speedups)
+
+    assert a.metrics.single_conflict_rate == pytest.approx(0.40)
+    assert b.single_conflict_rate_with_coinbase == pytest.approx(0.875)
+    assert b.group_conflict_rate_with_coinbase == pytest.approx(0.5625)
+    assert speculative_speedup_exact(5, 8, 0.4) == pytest.approx(5 / 3)
+    assert speculative_speedup_exact(16, 16, 0.875) == pytest.approx(16 / 15)

@@ -1,0 +1,66 @@
+"""Fig. 4: Ethereum's transaction load and conflict rates over time.
+
+Panels: (a) regular vs. total transactions per block; (b) the
+single-transaction conflict rate, tx-count- and gas-weighted; (c) the
+group conflict rate.  The benchmark times the full per-block analysis
+pipeline over the synthetic Ethereum history.
+
+Shape targets from the paper: ~100 regular / ~300 total txs per block
+late in the history; single rate falling from ~0.8 toward ~0.6 with the
+gas-weighted line below the tx-weighted one; group rate declining to a
+~0.2 plateau.
+"""
+
+from __future__ import annotations
+
+from _common import get_chain, write_output
+
+from repro.analysis.figures import figure4
+from repro.analysis.report import render_series_table
+from repro.core.pipeline import analyze_account_block
+
+
+def _rebuild_history(builder):
+    for block, executed in builder.executed_blocks:
+        analyze_account_block(
+            executed, height=block.height, timestamp=block.header.timestamp
+        )
+
+
+def test_fig4_ethereum(benchmark):
+    chain = get_chain("ethereum")
+    assert chain.account_builder is not None
+    benchmark(_rebuild_history, chain.account_builder)
+
+    load, single, group = figure4(chain.history, num_buckets=20)
+    out = []
+    out.append(render_series_table(
+        load.series, title="Fig. 4a: transactions per block (Ethereum)",
+        value_format="{:10.1f}",
+    ))
+    out.append(render_series_table(
+        single.series,
+        title="Fig. 4b: single-transaction conflict rate (weighted)",
+    ))
+    out.append(render_series_table(
+        group.series, title="Fig. 4c: group conflict rate (weighted)",
+    ))
+    write_output("fig4_ethereum", "\n\n".join(out))
+
+    # Shape assertions (paper-vs-measured recorded in EXPERIMENTS.md).
+    regular = load.series["regular_txs"]
+    all_txs = load.series["all_txs"]
+    assert regular.values[-1] > 4 * regular.values[0]  # load growth
+    assert all_txs.tail_mean() > 1.5 * regular.tail_mean()  # internals
+
+    tx_weighted = single.series["tx_weighted"]
+    gas_weighted = single.series["gas_weighted"]
+    early = sum(tx_weighted.values[:5]) / 5
+    late = tx_weighted.tail_mean(5)
+    assert early > late  # declining single conflict rate
+    assert 0.45 < late < 0.75  # ~0.6 regime
+    assert gas_weighted.overall_mean < tx_weighted.overall_mean
+
+    group_tx = group.series["tx_weighted"]
+    assert group_tx.values[0] > group_tx.tail_mean(5)  # decline
+    assert 0.12 < group_tx.tail_mean(5) < 0.35  # ~0.2 plateau

@@ -1,0 +1,54 @@
+"""Fig. 5: Bitcoin's transaction load and conflict rates over time.
+
+Panels: (a) transactions and input TXOs per block; (b) single-tx
+conflict rate; (c) group conflict rate.  The benchmark times the UTXO
+analysis pipeline over the synthetic Bitcoin ledger's recent blocks.
+
+Shape targets from the paper: >2000 txs and ~4000 input TXOs per block
+late in the history; single rate ~0.13-0.15; group rate ~0.01.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SHAPES, get_chain, write_output
+
+from repro.analysis.figures import figure5
+from repro.analysis.report import render_series_table
+
+
+def _history_stats(history):
+    records = history.non_empty_records()
+    return sum(r.metrics.lcc_size for r in records)
+
+
+def test_fig5_bitcoin(benchmark):
+    chain = get_chain("bitcoin")
+    benchmark(_history_stats, chain.history)
+
+    load, single, group = figure5(chain.history, num_buckets=20)
+    out = []
+    out.append(render_series_table(
+        load.series, title="Fig. 5a: transactions / input TXOs per block",
+        value_format="{:10.1f}",
+    ))
+    out.append(render_series_table(
+        single.series, title="Fig. 5b: single-transaction conflict rate",
+    ))
+    out.append(render_series_table(
+        group.series, title="Fig. 5c: group conflict rate",
+    ))
+    write_output("fig5_bitcoin", "\n\n".join(out))
+
+    scale = BENCH_SHAPES["bitcoin"][1]
+    regular = load.series["regular_txs"]
+    input_txos = load.series["input_txos"]
+    # Late-history load: >2000 tx/block at full scale.
+    assert regular.tail_mean(4) * (1 / scale) > 1200
+    # More input TXOs than transactions (paper: ~4000 vs ~2000).
+    assert input_txos.tail_mean(4) > regular.tail_mean(4)
+
+    single_tx = single.series["tx_weighted"]
+    group_tx = group.series["tx_weighted"]
+    assert 0.05 < single_tx.tail_mean(5) < 0.30   # ~0.13-0.15 regime
+    assert group_tx.tail_mean(5) < 0.05           # ~0.01 regime
+    assert group_tx.tail_mean(5) < single_tx.tail_mean(5)

@@ -1,0 +1,61 @@
+"""Fig. 7: conflict rates for all seven chains, grouped by data model.
+
+Regenerates all four panels: single-transaction and group conflict
+rates for the account-based chains (Ethereum, Ethereum Classic,
+Zilliqa) and the UTXO-based chains (Bitcoin, Bitcoin Cash, Litecoin,
+Dogecoin).  The benchmark times the bucketed-series construction across
+all seven histories.
+
+Shape target: every UTXO chain's rates sit below every account chain's
+(the paper's first headline finding).
+"""
+
+from __future__ import annotations
+
+from _common import get_chain, write_output
+
+from repro.analysis.figures import figure7
+from repro.analysis.report import render_series_table
+
+ACCOUNT = ("ethereum", "ethereum_classic", "zilliqa")
+UTXO = ("bitcoin", "bitcoin_cash", "litecoin", "dogecoin")
+
+
+def _all_histories():
+    return {name: get_chain(name).history for name in ACCOUNT + UTXO}
+
+
+def test_fig7_all_chains(benchmark):
+    histories = _all_histories()
+    panels = benchmark(figure7, histories, num_buckets=16)
+
+    out = []
+    for metric in ("single", "group"):
+        for family, names in (("account", ACCOUNT), ("utxo", UTXO)):
+            subset = {
+                name: panels[metric].series[name] for name in names
+            }
+            out.append(render_series_table(
+                subset,
+                title=f"Fig. 7 ({metric} conflict rate, {family}-based)",
+            ))
+    write_output("fig7_all_chains", "\n\n".join(out))
+
+    def overall(name, metric):
+        return panels[metric].series[name].overall_mean
+
+    # Headline finding: more concurrency in UTXO chains than account chains.
+    for metric in ("single", "group"):
+        worst_utxo = max(overall(name, metric) for name in UTXO)
+        best_account = min(overall(name, metric) for name in ACCOUNT)
+        assert worst_utxo < best_account, (metric, worst_utxo, best_account)
+
+    # Finding 2: group rate below single rate for every chain.
+    for name in ACCOUNT + UTXO:
+        assert overall(name, "group") <= overall(name, "single") + 0.12
+
+    # Approximate paper levels for the flagship chains.
+    assert overall("bitcoin", "single") < 0.3
+    assert overall("ethereum", "single") > 0.45
+    assert overall("ethereum_classic", "group") > 0.45
+    assert overall("zilliqa", "single") > 0.5

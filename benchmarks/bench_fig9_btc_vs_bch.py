@@ -1,0 +1,52 @@
+"""Fig. 9: Bitcoin vs. Bitcoin Cash (§IV-C).
+
+Panels: (a) transactions per block, (b) conflict ratio per block,
+(c) absolute LCC size per block.  The paper's point: despite Bitcoin
+Cash's bigger blocks (its raison d'être), it carries far fewer
+transactions than Bitcoin — and still shows *higher* conflict rates,
+evidence of a smaller user base with exchanges producing a larger
+traffic share.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SHAPES, get_chain, write_output
+
+from repro.analysis.figures import figure9
+from repro.analysis.report import render_series_table
+
+
+def test_fig9_btc_vs_bch(benchmark):
+    bitcoin = get_chain("bitcoin").history
+    bitcoin_cash = get_chain("bitcoin_cash").history
+    panels = benchmark(figure9, bitcoin, bitcoin_cash, num_buckets=16)
+
+    out = []
+    out.append(render_series_table(
+        panels["load"].series,
+        title="Fig. 9a: transactions per block",
+        value_format="{:10.1f}",
+    ))
+    out.append(render_series_table(
+        panels["single"].series,
+        title="Fig. 9b: conflict ratio per block",
+    ))
+    out.append(render_series_table(
+        panels["lcc_absolute"].series,
+        title="Fig. 9c: absolute LCC size per block",
+        value_format="{:10.2f}",
+    ))
+    write_output("fig9_btc_vs_bch", "\n\n".join(out))
+
+    btc_scale = BENCH_SHAPES["bitcoin"][1]
+    btc_load = panels["load"].series["bitcoin"].tail_mean(5) / btc_scale
+    bch_load = panels["load"].series["bitcoin_cash"].tail_mean(5)
+    assert btc_load > 5 * bch_load  # BCH far below BTC despite big blocks
+
+    btc_single = panels["single"].series["bitcoin"].tail_mean(5)
+    bch_single = panels["single"].series["bitcoin_cash"].tail_mean(5)
+    assert bch_single > btc_single  # higher conflict ratio on BCH
+
+    btc_group = panels["group"].series["bitcoin"].tail_mean(5)
+    bch_group = panels["group"].series["bitcoin_cash"].tail_mean(5)
+    assert bch_group > btc_group

@@ -1,0 +1,95 @@
+"""Extension (§VII): inter-block concurrency.
+
+The paper leaves inter-block concurrency unexplored.  This bench
+measures it on both data models: sliding windows of W consecutive
+blocks, comparing block-at-a-time pipelined execution against
+window-at-once interleaving under component scheduling.
+
+The two models behave differently, and that contrast is the finding:
+
+* UTXO windows gain — blocks are internally near-parallel, so
+  absorbing each block's LCC tail across the barrier helps;
+* account windows gain little or nothing — hot exchange addresses
+  chain the window's components together, so interleaving cannot beat
+  the pipeline.  This is why the paper's intra-block focus is the
+  right first-order target for account chains.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from _common import get_chain, write_output
+
+from repro.analysis.report import render_table
+from repro.core.interblock import sliding_window_speedups
+
+CORES = 64
+WINDOW = 4
+
+
+def _utxo_blocks():
+    chain = get_chain("bitcoin")
+    # The analysis needs raw transaction lists; regenerate the ledger
+    # via the account of blocks kept on the history? The history keeps
+    # metrics only, so rebuild a small ledger here.
+    from repro.workload.utxo_workload import build_utxo_chain
+    from repro.workload.profiles import BITCOIN
+
+    ledger = build_utxo_chain(BITCOIN, num_blocks=40, seed=7, scale=0.15)
+    return [list(block.transactions) for block in ledger][-24:]
+
+
+def _account_blocks():
+    chain = get_chain("ethereum")
+    blocks = [
+        executed
+        for _block, executed in chain.account_builder.executed_blocks
+        if sum(1 for i in executed if not i.is_coinbase) >= 20
+    ]
+    return blocks[-24:]
+
+
+def test_interblock_concurrency(benchmark):
+    utxo_blocks = _utxo_blocks()
+    account_blocks = _account_blocks()
+
+    def run():
+        utxo = sliding_window_speedups(
+            utxo_blocks, window=WINDOW, cores=CORES, model="utxo"
+        )
+        account = sliding_window_speedups(
+            account_blocks, window=WINDOW, cores=CORES, model="account"
+        )
+        return utxo, account
+
+    utxo_speedups, account_speedups = benchmark(run)
+
+    def stats(values):
+        return (
+            f"{min(values):.2f}",
+            f"{statistics.mean(values):.2f}",
+            f"{max(values):.2f}",
+        )
+
+    write_output(
+        "interblock",
+        render_table(
+            ["model", "windows", "min", "mean", "max"],
+            [
+                ("utxo (bitcoin)", len(utxo_speedups), *stats(utxo_speedups)),
+                ("account (ethereum)", len(account_speedups),
+                 *stats(account_speedups)),
+            ],
+            title=(
+                f"Inter-block speed-up, window={WINDOW}, cores={CORES} "
+                "(pipeline / interleaved makespan)"
+            ),
+        ),
+    )
+
+    assert utxo_speedups and account_speedups
+    # UTXO chains benefit from interleaving across block barriers.
+    assert statistics.mean(utxo_speedups) > 1.05
+    # Account chains are limited by hot-address chaining.
+    assert statistics.mean(account_speedups) < statistics.mean(utxo_speedups)

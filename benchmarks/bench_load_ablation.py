@@ -1,0 +1,78 @@
+"""Ablation: load vs. conflict at a *fixed* user base (§IV-C's logic).
+
+The paper's §IV-C reasons: "if the size of the user base is similar,
+then a higher number of transactions per block means that the
+probability that two transactions conflict is higher.  However, since
+this does not appear to be the case [for ETH vs. ETC], this must mean
+that the user base for Ethereum Classic is relatively smaller."
+
+That argument rests on an unstated premise — conflict rises with load
+when the user base is held fixed — which this bench verifies directly:
+the same Ethereum-Classic-like population is driven at 1x to 16x its
+transaction volume, and both conflict metrics rise monotonically (up to
+sampling noise).  Combined with Fig. 8's observation (ETH: more load,
+*less* conflict), the paper's inference follows.
+"""
+
+from __future__ import annotations
+
+from _common import write_output
+
+from repro.analysis.report import render_table
+from repro.workload.generator import generate_chain
+
+SCALES = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def _rates_at_scale(scale: float):
+    chain = generate_chain(
+        "ethereum_classic", num_blocks=60, seed=31, scale=scale
+    )
+    records = [
+        r for r in chain.history.non_empty_records()
+        if r.num_transactions >= 3
+    ]
+    weight = sum(r.weight_tx for r in records)
+    single = sum(
+        r.metrics.single_conflict_rate * r.weight_tx for r in records
+    ) / weight
+    group = sum(
+        r.metrics.group_conflict_rate * r.weight_tx for r in records
+    ) / weight
+    mean_txs = sum(r.num_transactions for r in records) / len(records)
+    return mean_txs, single, group
+
+
+def test_load_vs_conflict_fixed_user_base(benchmark):
+    results = benchmark.pedantic(
+        lambda: [_rates_at_scale(scale) for scale in SCALES],
+        rounds=1,
+        iterations=1,
+    )
+    write_output(
+        "load_ablation",
+        render_table(
+            ["volume scale", "mean txs/block", "single rate", "group rate"],
+            [
+                (f"{scale:g}x", f"{txs:.1f}", f"{single:.3f}", f"{group:.3f}")
+                for scale, (txs, single, group) in zip(SCALES, results)
+            ],
+            title=(
+                "Load vs. conflict at a fixed user base "
+                "(Ethereum-Classic-like population)"
+            ),
+        ),
+    )
+
+    single_rates = [single for _txs, single, _group in results]
+    # The premise §IV-C relies on: at a fixed user base, more load means
+    # more single-tx conflict.  Allow small non-monotonic jitter but
+    # require a clear overall rise.
+    assert single_rates[-1] > single_rates[0] + 0.03
+    assert all(
+        later >= earlier - 0.05
+        for earlier, later in zip(single_rates, single_rates[1:])
+    )
+    # Load itself must actually have risen across the sweep.
+    loads = [txs for txs, _s, _g in results]
+    assert loads[-1] > 8 * loads[0]

@@ -1,0 +1,13 @@
+"""Pytest wiring for the benchmark harness (see _common.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import get_chain
+
+
+@pytest.fixture(scope="session")
+def chains():
+    """Accessor for cached bench chains."""
+    return get_chain

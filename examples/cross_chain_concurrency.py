@@ -1,0 +1,82 @@
+"""Cross-chain concurrency survey: the paper's §IV at example scale.
+
+Builds all seven synthetic blockchains, prints Table I, and compares
+their conflict rates — reproducing the paper's three headline findings:
+
+1. UTXO-based chains have more concurrency than account-based ones;
+2. group conflict rates sit well below single-transaction rates;
+3. chains with more transactions per block (Ethereum vs. Ethereum
+   Classic, Bitcoin vs. Bitcoin Cash) can show *less* conflict.
+
+Run:  python examples/cross_chain_concurrency.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_rate, render_table, render_table1
+from repro.workload import ALL_PROFILES, generate_all_chains
+
+
+def weighted_rate(history, metric: str) -> float:
+    records = history.non_empty_records()
+    weight = sum(r.weight_tx for r in records)
+    if weight == 0:
+        return 0.0
+    return sum(
+        getattr(r.metrics, metric) * r.weight_tx for r in records
+    ) / weight
+
+
+def main() -> None:
+    print(render_table1(ALL_PROFILES))
+    print()
+
+    print("building all seven chains (this takes a few seconds)...")
+    chains = generate_all_chains(num_blocks=80, seed=5, scale=0.5)
+
+    rows = []
+    for profile in ALL_PROFILES:
+        history = chains[profile.name].history
+        rows.append(
+            (
+                profile.display_name,
+                profile.data_model,
+                f"{history.mean_transactions_per_block():8.1f}",
+                format_rate(weighted_rate(history, "single_conflict_rate")),
+                format_rate(weighted_rate(history, "group_conflict_rate")),
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["chain", "model", "mean txs", "single conflict",
+             "group conflict"],
+            rows,
+            title="Concurrency survey (cf. paper Fig. 7)",
+        )
+    )
+
+    utxo = [r for r in rows if r[1] == "utxo"]
+    account = [r for r in rows if r[1] == "account"]
+    print()
+    print("findings:")
+    print(
+        "  1. every UTXO chain's single-tx conflict rate "
+        f"(max {max(r[3] for r in utxo)}) is below every account "
+        f"chain's (min {min(r[3] for r in account)})"
+    )
+    eth = next(r for r in rows if r[0] == "Ethereum")
+    etc = next(r for r in rows if r[0] == "Ethereum Classic")
+    print(
+        f"  2. Ethereum: single {eth[3]} vs group {eth[4]} — group "
+        "concurrency is the larger opportunity"
+    )
+    print(
+        f"  3. Ethereum carries ~{float(eth[2]) / max(float(etc[2]), 0.1):.0f}x "
+        f"Ethereum Classic's load yet has the lower group rate "
+        f"({eth[4]} vs {etc[4]})"
+    )
+
+
+if __name__ == "__main__":
+    main()

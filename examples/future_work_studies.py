@@ -1,0 +1,93 @@
+"""The paper's future-work items, implemented and measured.
+
+The conclusion of Reijsbergen & Dinh lists what was left open; this
+example runs three of those studies on a synthetic Ethereum chain:
+
+1. §V-C — how good is the *approximate TDG* built from regular
+   transactions only (no internal-transaction knowledge)?
+2. §VII — how much *inter-block* concurrency exists beyond the
+   intra-block concurrency the paper measures?
+3. §II-C — how much does an execution speed-up strengthen the
+   *verification incentive* (the Verifier's Dilemma)?
+
+Run:  python examples/future_work_studies.py
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.approx import assess_block, corrected_group_speedup
+from repro.core.interblock import sliding_window_speedups
+from repro.core.speedup import group_speedup_bound
+from repro.core.tdg import account_tdg
+from repro.economics.verifier import (
+    VerifierParams,
+    security_gain_from_speedup,
+)
+from repro.workload import build_account_chain
+from repro.workload.profiles import ETHEREUM
+
+CORES = 8
+
+
+def main() -> None:
+    builder = build_account_chain(ETHEREUM, num_blocks=100, seed=4, scale=1.0)
+    busy_blocks = [
+        executed
+        for _block, executed in builder.executed_blocks
+        if sum(1 for item in executed if not item.is_coinbase) >= 30
+    ]
+    print(f"simulated {len(builder.executed_blocks)} blocks; "
+          f"{len(busy_blocks)} busy enough to study\n")
+
+    # -- 1. approximate TDG (§V-C) -------------------------------------------
+    qualities = [assess_block(executed) for executed in busy_blocks]
+    mean_recall = statistics.mean(q.pair_recall for q in qualities)
+    imperfect = sum(1 for q in qualities if not q.is_exact)
+    realised = statistics.mean(
+        corrected_group_speedup(q, CORES, conflict_penalty=1.0)
+        for q in qualities
+    )
+    true_bounds = statistics.mean(
+        group_speedup_bound(
+            CORES,
+            account_tdg(executed).lcc_size
+            / max(1, account_tdg(executed).num_transactions),
+        )
+        for executed in busy_blocks
+    )
+    print("1. approximate TDG from regular transactions only (§V-C):")
+    print(f"   conflicting-pair recall: {mean_recall:.3f} "
+          f"({imperfect}/{len(qualities)} blocks have hidden conflicts)")
+    print(f"   mean speed-up: {realised:.2f}x realised vs {true_bounds:.2f}x "
+          "with the full TDG — the approximation keeps most of the gain\n")
+
+    # -- 2. inter-block concurrency (§VII) -----------------------------------
+    speedups = sliding_window_speedups(
+        busy_blocks[-16:], window=4, cores=64, model="account"
+    )
+    print("2. inter-block concurrency (window = 4 blocks, 64 cores):")
+    print(f"   pipeline/interleaved speed-up: mean "
+          f"{statistics.mean(speedups):.2f}x, max {max(speedups):.2f}x")
+    print("   (hot exchange addresses chain blocks together, so account"
+          " chains gain little — the paper's intra-block focus is right)\n")
+
+    # -- 3. Verifier's Dilemma (§II-C) ----------------------------------------
+    tdg = account_tdg(busy_blocks[-1])
+    l = tdg.lcc_size / tdg.num_transactions
+    speedup = group_speedup_bound(CORES, l)
+    params = VerifierParams(
+        execution_time=8.0, block_interval=14.0, invalid_rate=0.6
+    )
+    gain = security_gain_from_speedup(params, speedup)
+    print("3. Verifier's Dilemma (exec 8s / interval 14s):")
+    print(f"   last block's group rate l={l:.2f} -> speed-up "
+          f"{speedup:.2f}x at {CORES} cores")
+    print(f"   rational verifying fraction: "
+          f"{gain.baseline_fraction:.2f} -> {gain.improved_fraction:.2f}")
+    print("   cheaper execution measurably strengthens verification")
+
+
+if __name__ == "__main__":
+    main()

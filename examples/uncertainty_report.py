@@ -1,0 +1,86 @@
+"""Measurement rigour: confidence intervals and compact trend views.
+
+The paper reports weighted means; this example adds the uncertainty a
+careful reader wants: bootstrap confidence intervals for each chain's
+conflict rates, a significance check for the paper's §IV-C ordering
+claims, and sparkline trend views of the historical series.
+
+Run:  python examples/uncertainty_report.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import conflict_series
+from repro.analysis.report import render_sparkline, render_table
+from repro.analysis.stats import difference_ci, metric_ci
+from repro.workload.generator import generate_all_chains
+
+CHAINS = ("bitcoin", "bitcoin_cash", "ethereum", "ethereum_classic")
+
+
+def main() -> None:
+    print("building chains...")
+    survey = generate_all_chains(
+        num_blocks=70, seed=13, scale=0.4, names=CHAINS
+    )
+
+    # -- per-chain CIs ------------------------------------------------------------
+    rows = []
+    for name in CHAINS:
+        history = survey[name].history
+        single = metric_ci(
+            history,
+            lambda r: r.metrics.single_conflict_rate,
+            resamples=400,
+        )
+        group = metric_ci(
+            history,
+            lambda r: r.metrics.group_conflict_rate,
+            resamples=400,
+        )
+        rows.append(
+            (
+                name,
+                f"{single.point:.3f} [{single.low:.3f}, {single.high:.3f}]",
+                f"{group.point:.3f} [{group.low:.3f}, {group.high:.3f}]",
+            )
+        )
+    print()
+    print(render_table(
+        ["chain", "single conflict (95% CI)", "group conflict (95% CI)"],
+        rows,
+        title="Conflict rates with bootstrap confidence intervals",
+    ))
+
+    # -- ordering claims -----------------------------------------------------------
+    print()
+    print("ordering claims (95% CI of the difference; >0 = significant):")
+    for left, right, label in (
+        ("ethereum", "bitcoin", "ETH above BTC (§IV-A)"),
+        ("bitcoin_cash", "bitcoin", "BCH above BTC (§IV-C)"),
+        ("ethereum_classic", "ethereum", "ETC above ETH (§IV-C)"),
+    ):
+        ci = difference_ci(
+            survey[left].history,
+            survey[right].history,
+            lambda r: r.metrics.single_conflict_rate,
+            resamples=400,
+        )
+        verdict = "significant" if ci.low > 0 else "not significant"
+        print(f"  {label}: diff {ci.point:+.3f} "
+              f"[{ci.low:+.3f}, {ci.high:+.3f}] -> {verdict}")
+
+    # -- sparkline trends -----------------------------------------------------------
+    print()
+    print("historical trends (single conflict rate, tx-weighted, 0..1):")
+    for name in CHAINS:
+        series = conflict_series(
+            survey[name].history, metric="single", num_buckets=24
+        ).series["tx_weighted"]
+        print(" ", render_sparkline(
+            series, label=f"{name:17s}", low=0.0, high=1.0
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — reproduction of Reijsbergen & Dinh, "On Exploiting Transaction
+Concurrency To Speed Up Blockchains" (ICDCS 2020).
+
+Public API highlights:
+
+* :mod:`repro.core` — TDG construction, conflict metrics, speed-up models.
+* :mod:`repro.workload` — calibrated synthetic chains for all 7 blockchains.
+* :mod:`repro.execution` — parallel execution engines validating the models.
+* :mod:`repro.analysis` — per-figure series builders and report rendering.
+"""
+
+from repro.core import (
+    BlockMetrics,
+    TDGResult,
+    account_tdg,
+    compute_block_metrics,
+    estimate_block_speedups,
+    group_speedup_bound,
+    speculative_speedup,
+    utxo_tdg,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockMetrics",
+    "TDGResult",
+    "account_tdg",
+    "compute_block_metrics",
+    "estimate_block_speedups",
+    "group_speedup_bound",
+    "speculative_speedup",
+    "utxo_tdg",
+    "__version__",
+]

@@ -1,0 +1,118 @@
+"""Graphviz DOT export for transaction dependency graphs.
+
+The paper's Fig. 1 draws TDGs with solid regular-transaction edges,
+dotted coinbase edges and dashed internal-transaction edges.  This
+module renders the same pictures from our data structures so examples
+and documentation can regenerate them (`dot -Tpdf` turns the output
+into the figure).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.chain.hashing import short_hash
+from repro.core.tdg import TDGResult
+from repro.utxo.transaction import UTXOTransaction
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def account_tdg_to_dot(
+    tx_edges: Mapping[str, Sequence[tuple[str, str]]],
+    *,
+    title: str = "TDG",
+) -> str:
+    """Render an account-model TDG in the paper's Fig. 1 style.
+
+    Nodes are addresses; each transaction's first pair draws a solid
+    edge labelled with the transaction id, subsequent pairs (internal
+    transactions) draw dashed edges.
+    """
+    lines = [f"digraph {_quote(title)} {{"]
+    lines.append("  rankdir=LR;")
+    lines.append("  node [shape=ellipse, fontsize=10];")
+    addresses: set[str] = set()
+    for pairs in tx_edges.values():
+        for sender, receiver in pairs:
+            addresses.add(sender)
+            addresses.add(receiver)
+    for address in sorted(addresses):
+        label = address if len(address) <= 6 else address[:5]
+        lines.append(f"  {_quote(address)} [label={_quote(label)}];")
+    for tx_id in sorted(tx_edges):
+        pairs = tx_edges[tx_id]
+        for index, (sender, receiver) in enumerate(pairs):
+            style = "solid" if index == 0 else "dashed"
+            label = f' label={_quote(tx_id)}' if index == 0 else ""
+            lines.append(
+                f"  {_quote(sender)} -> {_quote(receiver)} "
+                f"[style={style}{label}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def utxo_chain_to_dot(
+    transactions: Sequence[UTXOTransaction],
+    *,
+    title: str = "spend-chain",
+) -> str:
+    """Render a UTXO block in the paper's Fig. 6 style.
+
+    Transactions are boxes labelled by their short hash; output TXOs
+    are circles labelled with the value in coins; dotted lines connect
+    transactions to their outputs, solid lines connect spent TXOs to
+    their spending transactions.
+    """
+    in_block = {tx.tx_hash for tx in transactions}
+    outpoint_creator: dict[str, str] = {}
+    lines = [f"digraph {_quote(title)} {{"]
+    lines.append("  rankdir=LR;")
+    lines.append("  node [fontsize=9];")
+    for tx in transactions:
+        node_id = f"tx_{tx.tx_hash}"
+        lines.append(
+            f"  {_quote(node_id)} "
+            f"[shape=box, label={_quote(short_hash(tx.tx_hash))}];"
+        )
+        for txo in tx.outputs:
+            txo_id = f"txo_{txo.outpoint}"
+            outpoint_creator[str(txo.outpoint)] = node_id
+            lines.append(
+                f"  {_quote(txo_id)} [shape=circle, "
+                f"label={_quote(f'{txo.value_in_coins():.5f}')}];"
+            )
+            lines.append(
+                f"  {_quote(node_id)} -> {_quote(txo_id)} [style=dotted];"
+            )
+    for tx in transactions:
+        node_id = f"tx_{tx.tx_hash}"
+        for outpoint in tx.inputs:
+            if outpoint.tx_hash in in_block:
+                txo_id = f"txo_{outpoint}"
+                lines.append(
+                    f"  {_quote(txo_id)} -> {_quote(node_id)} "
+                    "[style=solid];"
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tdg_groups_to_dot(tdg: TDGResult, *, title: str = "groups") -> str:
+    """Render a TDG's dependency groups as clustered subgraphs."""
+    lines = [f"digraph {_quote(title)} {{"]
+    lines.append("  node [shape=box, fontsize=9];")
+    for index, group in enumerate(tdg.groups):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote(f'group {index} ({len(group)})')};")
+        for tx_hash in group:
+            lines.append(
+                f"    {_quote(tx_hash)} "
+                f"[label={_quote(short_hash(tx_hash, 8))}];"
+            )
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,335 @@
+"""Per-figure series builders — one function per paper figure.
+
+Each builder turns :class:`repro.core.pipeline.ChainHistory` objects
+into the bucketed, weighted series the corresponding paper figure
+plots.  The benches print these series; the returned structures are
+plain dataclasses so tests can assert on the numbers directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.aggregation import BucketedSeries, bucketize
+from repro.core.pipeline import BlockRecord, ChainHistory
+from repro.core.speedup import group_speedup_bound, speculative_speedup
+
+DEFAULT_BUCKETS = 24
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """A named collection of series, one per plotted line."""
+
+    figure: str
+    title: str
+    series: dict[str, BucketedSeries] = field(default_factory=dict)
+
+    def labels(self) -> list[str]:
+        return list(self.series)
+
+
+def _records(history: ChainHistory) -> list[BlockRecord]:
+    records = history.non_empty_records()
+    if not records:
+        raise ValueError(f"history {history.name!r} has no non-empty blocks")
+    return records
+
+
+def _series(
+    history: ChainHistory,
+    *,
+    value,
+    weight,
+    num_buckets: int,
+) -> BucketedSeries:
+    records = _records(history)
+    return bucketize(
+        records,
+        num_buckets=num_buckets,
+        value=value,
+        weight=weight,
+        position=history.year_of,
+    )
+
+
+def load_series(
+    history: ChainHistory, *, num_buckets: int = DEFAULT_BUCKETS
+) -> FigureData:
+    """Transactions per block (regular and total) — Figs. 4a/5a/8a/9a."""
+    series = {
+        "regular_txs": _series(
+            history,
+            value=lambda r: r.num_transactions,
+            weight=lambda r: 1.0,
+            num_buckets=num_buckets,
+        )
+    }
+    if history.data_model == "account":
+        series["all_txs"] = _series(
+            history,
+            value=lambda r: r.total_transactions,
+            weight=lambda r: 1.0,
+            num_buckets=num_buckets,
+        )
+    else:
+        series["input_txos"] = _series(
+            history,
+            value=lambda r: r.num_input_txos,
+            weight=lambda r: 1.0,
+            num_buckets=num_buckets,
+        )
+    return FigureData(
+        figure="load",
+        title=f"{history.name}: transactions per block",
+        series=series,
+    )
+
+
+def conflict_series(
+    history: ChainHistory,
+    *,
+    metric: str,
+    num_buckets: int = DEFAULT_BUCKETS,
+) -> FigureData:
+    """Weighted conflict-rate series — Figs. 4b/4c/5b/5c/7/8/9.
+
+    Args:
+        metric: "single" or "group".
+
+    For account chains both the tx-count-weighted and gas-weighted
+    variants are produced (the thick/thin line pairs of Fig. 4); UTXO
+    chains get tx-count and size-weighted variants.
+    """
+    if metric == "single":
+        plain = lambda r: r.metrics.single_conflict_rate  # noqa: E731
+        weighted = lambda r: r.metrics.weighted_single_conflict_rate  # noqa: E731
+    elif metric == "group":
+        plain = lambda r: r.metrics.group_conflict_rate  # noqa: E731
+        weighted = lambda r: r.metrics.weighted_group_conflict_rate  # noqa: E731
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+
+    series = {
+        "tx_weighted": _series(
+            history,
+            value=plain,
+            weight=lambda r: r.weight_tx,
+            num_buckets=num_buckets,
+        )
+    }
+    if history.data_model == "account":
+        series["gas_weighted"] = _series(
+            history,
+            value=weighted,
+            weight=lambda r: r.weight_gas,
+            num_buckets=num_buckets,
+        )
+    else:
+        series["size_weighted"] = _series(
+            history,
+            value=plain,
+            weight=lambda r: r.weight_size,
+            num_buckets=num_buckets,
+        )
+    return FigureData(
+        figure=f"conflict-{metric}",
+        title=f"{history.name}: {metric} conflict rate (weighted)",
+        series=series,
+    )
+
+
+def absolute_lcc_series(
+    history: ChainHistory, *, num_buckets: int = DEFAULT_BUCKETS
+) -> FigureData:
+    """Absolute LCC size per block — Fig. 9c's panel."""
+    return FigureData(
+        figure="lcc-absolute",
+        title=f"{history.name}: absolute LCC size per block",
+        series={
+            "lcc_size": _series(
+                history,
+                value=lambda r: r.metrics.lcc_size,
+                weight=lambda r: r.weight_tx,
+                num_buckets=num_buckets,
+            )
+        },
+    )
+
+
+def figure4(history: ChainHistory, *, num_buckets: int = DEFAULT_BUCKETS):
+    """Fig. 4: Ethereum load + single + group conflict panels."""
+    return (
+        load_series(history, num_buckets=num_buckets),
+        conflict_series(history, metric="single", num_buckets=num_buckets),
+        conflict_series(history, metric="group", num_buckets=num_buckets),
+    )
+
+
+def figure5(history: ChainHistory, *, num_buckets: int = DEFAULT_BUCKETS):
+    """Fig. 5: Bitcoin load + single + group conflict panels."""
+    return figure4(history, num_buckets=num_buckets)
+
+
+def figure7(
+    histories: dict[str, ChainHistory],
+    *,
+    num_buckets: int = DEFAULT_BUCKETS,
+) -> dict[str, FigureData]:
+    """Fig. 7: single and group conflict rates for all seven chains.
+
+    Returns a mapping with keys "single" and "group"; each FigureData
+    holds one tx-weighted series per chain.
+    """
+    panels: dict[str, FigureData] = {}
+    for metric in ("single", "group"):
+        series: dict[str, BucketedSeries] = {}
+        for name, history in histories.items():
+            data = conflict_series(
+                history, metric=metric, num_buckets=num_buckets
+            )
+            series[name] = data.series["tx_weighted"]
+        panels[metric] = FigureData(
+            figure=f"fig7-{metric}",
+            title=f"all chains: {metric} conflict rate",
+            series=series,
+        )
+    return panels
+
+
+def figure8(
+    ethereum: ChainHistory,
+    classic: ChainHistory,
+    *,
+    num_buckets: int = DEFAULT_BUCKETS,
+) -> dict[str, FigureData]:
+    """Fig. 8: Ethereum vs. Ethereum Classic, three panels."""
+    return _pairwise_panels(ethereum, classic, num_buckets=num_buckets)
+
+
+def figure9(
+    bitcoin: ChainHistory,
+    bitcoin_cash: ChainHistory,
+    *,
+    num_buckets: int = DEFAULT_BUCKETS,
+) -> dict[str, FigureData]:
+    """Fig. 9: Bitcoin vs. Bitcoin Cash, incl. the absolute-LCC panel."""
+    panels = _pairwise_panels(bitcoin, bitcoin_cash, num_buckets=num_buckets)
+    panels["lcc_absolute"] = FigureData(
+        figure="fig9c",
+        title="absolute LCC size per block",
+        series={
+            bitcoin.name: absolute_lcc_series(
+                bitcoin, num_buckets=num_buckets
+            ).series["lcc_size"],
+            bitcoin_cash.name: absolute_lcc_series(
+                bitcoin_cash, num_buckets=num_buckets
+            ).series["lcc_size"],
+        },
+    )
+    return panels
+
+
+def _pairwise_panels(
+    left: ChainHistory,
+    right: ChainHistory,
+    *,
+    num_buckets: int,
+) -> dict[str, FigureData]:
+    panels: dict[str, FigureData] = {}
+    panels["load"] = FigureData(
+        figure="load",
+        title="transactions per block",
+        series={
+            left.name: load_series(left, num_buckets=num_buckets).series[
+                "regular_txs"
+            ],
+            right.name: load_series(right, num_buckets=num_buckets).series[
+                "regular_txs"
+            ],
+        },
+    )
+    for metric in ("single", "group"):
+        panels[metric] = FigureData(
+            figure=f"conflict-{metric}",
+            title=f"{metric} conflict rate",
+            series={
+                left.name: conflict_series(
+                    left, metric=metric, num_buckets=num_buckets
+                ).series["tx_weighted"],
+                right.name: conflict_series(
+                    right, metric=metric, num_buckets=num_buckets
+                ).series["tx_weighted"],
+            },
+        )
+    return panels
+
+
+def figure10(
+    history: ChainHistory,
+    *,
+    cores: tuple[int, ...] = (4, 8, 64),
+    num_buckets: int = DEFAULT_BUCKETS,
+) -> dict[str, FigureData]:
+    """Fig. 10: potential speed-ups from both concurrency models.
+
+    Combines Eq. 1 with the single-conflict series (panel a) and Eq. 2
+    with the group-conflict series (panel b), per bucket: each bucket
+    contributes its weighted mean conflict rate and mean block size x.
+    """
+    records = _records(history)
+    single = bucketize(
+        records,
+        num_buckets=num_buckets,
+        value=lambda r: r.metrics.single_conflict_rate,
+        weight=lambda r: r.weight_tx,
+        position=history.year_of,
+    )
+    group = bucketize(
+        records,
+        num_buckets=num_buckets,
+        value=lambda r: r.metrics.group_conflict_rate,
+        weight=lambda r: r.weight_tx,
+        position=history.year_of,
+    )
+    sizes = bucketize(
+        records,
+        num_buckets=num_buckets,
+        value=lambda r: r.num_transactions,
+        weight=lambda r: 1.0,
+        position=history.year_of,
+    )
+    panels: dict[str, FigureData] = {}
+    speculative: dict[str, BucketedSeries] = {}
+    grouped: dict[str, BucketedSeries] = {}
+    for n in cores:
+        spec_values = tuple(
+            speculative_speedup(max(1, int(round(x))), n, min(1.0, c))
+            for x, c in zip(sizes.values, single.values)
+        )
+        group_values = tuple(
+            group_speedup_bound(n, min(1.0, l)) for l in group.values
+        )
+        speculative[f"{n}_cores"] = BucketedSeries(
+            positions=single.positions,
+            values=spec_values,
+            weights=single.weights,
+            counts=single.counts,
+        )
+        grouped[f"{n}_cores"] = BucketedSeries(
+            positions=group.positions,
+            values=group_values,
+            weights=group.weights,
+            counts=group.counts,
+        )
+    panels["speculative"] = FigureData(
+        figure="fig10a",
+        title=f"{history.name}: single-transaction concurrency speed-ups",
+        series=speculative,
+    )
+    panels["grouped"] = FigureData(
+        figure="fig10b",
+        title=f"{history.name}: group concurrency speed-ups",
+        series=grouped,
+    )
+    return panels

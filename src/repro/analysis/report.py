@@ -1,0 +1,175 @@
+"""Plain-text rendering of tables and series for the bench harness.
+
+The benches regenerate every paper table and figure as text: tables are
+boxed ASCII, series are printed as aligned rows (year, value per line)
+so the trends — who is above whom, where the crossovers happen — can be
+read directly from bench output and diffed between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.aggregation import BucketedSeries
+from repro.workload.profiles import ChainProfile
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an ASCII table with column auto-sizing."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append(separator)
+    for row in cells:
+        lines.append(
+            " | ".join(v.ljust(widths[i]) for i, v in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_table1(profiles: Sequence[ChainProfile]) -> str:
+    """Reproduce the paper's Table I from the profile catalogue."""
+    rows = [
+        (
+            profile.display_name,
+            profile.data_model.upper() if profile.data_model == "utxo"
+            else "Account",
+            profile.consensus,
+            "Yes" if profile.smart_contracts else "No",
+            profile.data_source,
+        )
+        for profile in profiles
+    ]
+    return render_table(
+        ["Blockchain", "Data model", "Consensus", "Smart contracts",
+         "Data source"],
+        rows,
+        title="Table I: Comparison of seven public blockchains",
+    )
+
+
+def render_series(
+    series: BucketedSeries,
+    *,
+    label: str = "",
+    position_format: str = "{:8.2f}",
+    value_format: str = "{:10.4f}",
+) -> str:
+    """Render one bucketed series as aligned (position, value) rows."""
+    lines: list[str] = []
+    if label:
+        lines.append(label)
+    for position, value in zip(series.positions, series.values):
+        lines.append(
+            f"  {position_format.format(position)}  "
+            f"{value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def render_series_table(
+    series_by_label: dict[str, BucketedSeries],
+    *,
+    title: str = "",
+    position_label: str = "year",
+    value_format: str = "{:10.4f}",
+) -> str:
+    """Render several series side by side, aligned on bucket index.
+
+    Series produced from the same history share bucket positions; when
+    they differ (e.g. two chains with different calendar spans) each
+    row shows the first series' position and per-series values by
+    bucket index, with blanks where a series is shorter.
+    """
+    if not series_by_label:
+        raise ValueError("no series given")
+    labels = list(series_by_label)
+    length = max(len(series) for series in series_by_label.values())
+    headers = [position_label, *labels]
+    rows: list[list[object]] = []
+    reference = series_by_label[labels[0]]
+    for index in range(length):
+        if index < len(reference.positions):
+            position = f"{reference.positions[index]:.2f}"
+        else:
+            position = ""
+        row: list[object] = [position]
+        for label in labels:
+            series = series_by_label[label]
+            if index < len(series.values):
+                row.append(value_format.format(series.values[index]))
+            else:
+                row.append("")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def render_sparkline(
+    series: BucketedSeries,
+    *,
+    label: str = "",
+    width: int | None = None,
+    low: float | None = None,
+    high: float | None = None,
+) -> str:
+    """Render a series as a one-line character sparkline.
+
+    Values are mapped onto ten density levels between *low* and *high*
+    (defaulting to the series' own range).  Useful for compact CLI
+    output where a full table is overkill.
+    """
+    values = list(series.values)
+    if width is not None:
+        if width < 1:
+            raise ValueError("width must be positive")
+        if len(values) > width:
+            # Downsample by averaging consecutive chunks.
+            chunk = len(values) / width
+            values = [
+                sum(values[int(i * chunk):int((i + 1) * chunk)] or [0.0])
+                / max(1, len(values[int(i * chunk):int((i + 1) * chunk)]))
+                for i in range(width)
+            ]
+    lo = min(values) if low is None else low
+    hi = max(values) if high is None else high
+    span = hi - lo
+    chars = []
+    for value in values:
+        if span <= 0:
+            level = 0
+        else:
+            normalised = (value - lo) / span
+            level = int(round(normalised * (len(_SPARK_LEVELS) - 1)))
+            level = min(len(_SPARK_LEVELS) - 1, max(0, level))
+        chars.append(_SPARK_LEVELS[level])
+    line = "".join(chars)
+    prefix = f"{label} " if label else ""
+    return f"{prefix}[{line}] {lo:.3g}..{hi:.3g}"
+
+
+def format_rate(value: float) -> str:
+    """Format a conflict rate as a percentage string."""
+    return f"{100.0 * value:.1f}%"
+
+
+def format_speedup(value: float) -> str:
+    return f"{value:.2f}x"

@@ -1,0 +1,52 @@
+"""Exception hierarchy shared by all chain substrates.
+
+Every substrate (UTXO, account, sharded) raises subclasses of
+:class:`ChainError` so callers can catch validation problems uniformly
+without depending on which data model produced them.
+"""
+
+from __future__ import annotations
+
+
+class ChainError(Exception):
+    """Base class for all errors raised by the chain substrates."""
+
+
+class ValidationError(ChainError):
+    """A block or transaction failed validation."""
+
+
+class LinkError(ValidationError):
+    """A block's parent pointer does not match the chain tip."""
+
+
+class DoubleSpendError(ValidationError):
+    """A transaction input references a TXO that is not in the UTXO set."""
+
+
+class ValueConservationError(ValidationError):
+    """Transaction outputs exceed inputs (minus fees)."""
+
+
+class NonceError(ValidationError):
+    """An account transaction carries an unexpected nonce."""
+
+
+class InsufficientBalanceError(ValidationError):
+    """An account cannot cover a transfer plus its gas cost."""
+
+
+class OutOfGasError(ChainError):
+    """Contract execution exhausted its gas allowance."""
+
+
+class VMError(ChainError):
+    """Contract execution failed for a reason other than gas."""
+
+
+class ShardingError(ChainError):
+    """A sharded-chain invariant was violated (e.g. cross-shard tx)."""
+
+
+class DatasetError(ChainError):
+    """The dataset layer was queried inconsistently."""

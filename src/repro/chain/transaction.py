@@ -1,0 +1,49 @@
+"""Model-agnostic transaction interface.
+
+Both data models produce objects satisfying :class:`BaseTransaction`;
+the analysis layer (TDG construction, metrics) consumes only this
+interface plus model-specific edge information supplied by adapters in
+:mod:`repro.core.tdg`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class BaseTransaction(Protocol):
+    """Structural interface every substrate transaction satisfies."""
+
+    @property
+    def tx_hash(self) -> str:
+        """Globally unique transaction identifier."""
+        ...
+
+    @property
+    def is_coinbase(self) -> bool:
+        """Whether this is a block-reward transaction (ignored in TDGs)."""
+        ...
+
+
+@dataclass(frozen=True)
+class TransactionStub:
+    """Minimal concrete transaction used by tests and generic tooling.
+
+    Real workloads use :class:`repro.utxo.transaction.UTXOTransaction` or
+    :class:`repro.account.transaction.AccountTransaction`; the stub exists
+    so that chain-level structures (blocks, Merkle trees, ledgers) can be
+    exercised without committing to a data model.
+    """
+
+    tx_hash: str
+    is_coinbase: bool = False
+    weight: float = 1.0
+    payload: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.tx_hash:
+            raise ValueError("tx_hash must be non-empty")
+        if self.weight < 0:
+            raise ValueError("weight must be non-negative")

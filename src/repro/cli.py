@@ -1,0 +1,375 @@
+"""Command-line interface for the reproduction.
+
+Usage (also installed as the ``repro`` console script)::
+
+    python -m repro.cli table1
+    python -m repro.cli analyze --chain ethereum --blocks 120
+    python -m repro.cli speedup --chain ethereum --cores 4,8,64
+    python -m repro.cli compare --left ethereum --right ethereum_classic
+    python -m repro.cli examples
+    python -m repro.cli export --chain bitcoin --out ./data
+
+Every command is deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.examples import (
+    block_358624_block,
+    figure_1a_block,
+    figure_1b_block,
+    figure_6_chain,
+)
+from repro.analysis.figures import (
+    conflict_series,
+    figure10,
+    load_series,
+)
+from repro.analysis.report import (
+    format_rate,
+    render_series_table,
+    render_table,
+    render_table1,
+)
+from repro.workload.generator import generate_chain
+from repro.workload.profiles import ALL_PROFILES, PROFILES_BY_NAME
+
+
+def _add_generation_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--chain",
+        required=True,
+        choices=sorted(PROFILES_BY_NAME),
+        help="which blockchain profile to simulate",
+    )
+    parser.add_argument("--blocks", type=int, default=120,
+                        help="number of blocks to simulate")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="determinism seed")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="transaction-volume multiplier")
+    parser.add_argument("--buckets", type=int, default=16,
+                        help="number of time buckets in printed series")
+
+
+def _generate(args: argparse.Namespace):
+    return generate_chain(
+        args.chain,
+        num_blocks=args.blocks,
+        seed=args.seed,
+        scale=args.scale,
+    )
+
+
+def cmd_table1(_args: argparse.Namespace) -> int:
+    print(render_table1(ALL_PROFILES))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    chain = _generate(args)
+    history = chain.history
+    print(render_series_table(
+        load_series(history, num_buckets=args.buckets).series,
+        title=f"{args.chain}: transactions per block",
+        value_format="{:10.1f}",
+    ))
+    print()
+    print(render_series_table(
+        conflict_series(
+            history, metric="single", num_buckets=args.buckets
+        ).series,
+        title=f"{args.chain}: single-transaction conflict rate",
+    ))
+    print()
+    print(render_series_table(
+        conflict_series(
+            history, metric="group", num_buckets=args.buckets
+        ).series,
+        title=f"{args.chain}: group conflict rate",
+    ))
+    return 0
+
+
+def cmd_speedup(args: argparse.Namespace) -> int:
+    try:
+        cores = tuple(int(part) for part in args.cores.split(","))
+    except ValueError:
+        print(f"error: --cores must be comma-separated integers, "
+              f"got {args.cores!r}", file=sys.stderr)
+        return 2
+    if not cores or any(n < 1 for n in cores):
+        print("error: core counts must be positive", file=sys.stderr)
+        return 2
+    chain = _generate(args)
+    panels = figure10(chain.history, cores=cores, num_buckets=args.buckets)
+    print(render_series_table(
+        panels["speculative"].series,
+        title=f"{args.chain}: speculative speed-ups (Eq. 1)",
+        value_format="{:10.3f}",
+    ))
+    print()
+    print(render_series_table(
+        panels["grouped"].series,
+        title=f"{args.chain}: group-concurrency speed-ups (Eq. 2)",
+        value_format="{:10.3f}",
+    ))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for name in (args.left, args.right):
+        if name not in PROFILES_BY_NAME:
+            print(f"error: unknown chain {name!r}", file=sys.stderr)
+            return 2
+        chain = generate_chain(
+            name, num_blocks=args.blocks, seed=args.seed, scale=args.scale
+        )
+        records = chain.history.non_empty_records()
+        weight = sum(r.weight_tx for r in records) or 1.0
+        single = sum(
+            r.metrics.single_conflict_rate * r.weight_tx for r in records
+        ) / weight
+        group = sum(
+            r.metrics.group_conflict_rate * r.weight_tx for r in records
+        ) / weight
+        rows.append(
+            (
+                name,
+                f"{chain.history.mean_transactions_per_block():9.1f}",
+                format_rate(single),
+                format_rate(group),
+            )
+        )
+    print(render_table(
+        ["chain", "mean txs", "single conflict", "group conflict"],
+        rows,
+        title="chain comparison (cf. paper Figs. 8-9)",
+    ))
+    return 0
+
+
+def cmd_examples(_args: argparse.Namespace) -> int:
+    a = figure_1a_block()
+    b = figure_1b_block()
+    transactions, tdg = figure_6_chain()
+    print("paper worked examples:")
+    print(f"  Fig. 1a (block 1000007): single "
+          f"{format_rate(a.metrics.single_conflict_rate)}, group "
+          f"{format_rate(a.metrics.group_conflict_rate)}  (paper: 40%/40%)")
+    print(f"  Fig. 1b (block 1000124): single "
+          f"{format_rate(b.single_conflict_rate_with_coinbase)}, group "
+          f"{format_rate(b.group_conflict_rate_with_coinbase)}  "
+          f"(paper: 87.5%/56.25%)")
+    print(f"  Fig. 6 (block 500000): spend chain of {len(transactions)} "
+          f"transactions, LCC {tdg.lcc_size}  (paper: 18)")
+    extreme = block_358624_block()
+    print(f"  §I (block 358624): {extreme.metrics.lcc_size} of "
+          f"{extreme.tdg.num_transactions} transactions dependent  "
+          f"(paper: 3217 of 3264)")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.datasets.export import (
+        export_account_blocks,
+        export_utxo_ledger,
+    )
+    from repro.workload.account_workload import build_account_chain
+    from repro.workload.utxo_workload import build_utxo_chain
+
+    profile = PROFILES_BY_NAME[args.chain]
+    if profile.data_model == "utxo":
+        ledger = build_utxo_chain(
+            profile, num_blocks=args.blocks, seed=args.seed,
+            scale=args.scale,
+        )
+        store = export_utxo_ledger(ledger, chain=args.chain)
+    else:
+        builder = build_account_chain(
+            profile, num_blocks=args.blocks, seed=args.seed,
+            scale=args.scale,
+        )
+        store = export_account_blocks(
+            builder.executed_blocks, chain=args.chain
+        )
+    written = store.export_csv(args.out)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Generate the full per-figure report into a directory."""
+    from pathlib import Path
+
+    from repro.analysis.figures import figure7, figure8, figure9
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = out / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"wrote {path}")
+
+    write("table1", render_table1(ALL_PROFILES))
+
+    print("generating chains (this takes a minute at full volume)...")
+    chains = {
+        profile.name: generate_chain(
+            profile,
+            num_blocks=args.blocks,
+            seed=args.seed,
+            scale=args.scale,
+        )
+        for profile in ALL_PROFILES
+    }
+    histories = {name: chain.history for name, chain in chains.items()}
+
+    for name in ("ethereum", "bitcoin"):
+        history = histories[name]
+        fig = "fig4" if name == "ethereum" else "fig5"
+        parts = [
+            render_series_table(
+                load_series(history, num_buckets=args.buckets).series,
+                title=f"{fig}a: {name} transactions per block",
+                value_format="{:10.1f}",
+            ),
+            render_series_table(
+                conflict_series(
+                    history, metric="single", num_buckets=args.buckets
+                ).series,
+                title=f"{fig}b: {name} single-transaction conflict rate",
+            ),
+            render_series_table(
+                conflict_series(
+                    history, metric="group", num_buckets=args.buckets
+                ).series,
+                title=f"{fig}c: {name} group conflict rate",
+            ),
+        ]
+        write(f"{fig}_{name}", "\n\n".join(parts))
+
+    panels = figure7(histories, num_buckets=args.buckets)
+    write(
+        "fig7_all_chains",
+        "\n\n".join(
+            render_series_table(panels[metric].series,
+                                title=f"fig7 {metric} conflict rate")
+            for metric in ("single", "group")
+        ),
+    )
+    eight = figure8(
+        histories["ethereum"], histories["ethereum_classic"],
+        num_buckets=args.buckets,
+    )
+    write(
+        "fig8_eth_vs_etc",
+        "\n\n".join(
+            render_series_table(eight[k].series, title=f"fig8 {k}")
+            for k in ("load", "single", "group")
+        ),
+    )
+    nine = figure9(
+        histories["bitcoin"], histories["bitcoin_cash"],
+        num_buckets=args.buckets,
+    )
+    write(
+        "fig9_btc_vs_bch",
+        "\n\n".join(
+            render_series_table(nine[k].series, title=f"fig9 {k}")
+            for k in ("load", "single", "lcc_absolute")
+        ),
+    )
+    ten = figure10(
+        histories["ethereum"], cores=(4, 8, 64), num_buckets=args.buckets
+    )
+    write(
+        "fig10_speedups",
+        "\n\n".join(
+            render_series_table(
+                ten[k].series, title=f"fig10 {k}", value_format="{:10.3f}"
+            )
+            for k in ("speculative", "grouped")
+        ),
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'On Exploiting Transaction Concurrency To "
+            "Speed Up Blockchains' (ICDCS 2020)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("table1", help="print paper Table I")
+    sub.set_defaults(func=cmd_table1)
+
+    sub = subparsers.add_parser(
+        "analyze", help="simulate a chain and print its conflict series"
+    )
+    _add_generation_args(sub)
+    sub.set_defaults(func=cmd_analyze)
+
+    sub = subparsers.add_parser(
+        "speedup", help="print Fig. 10-style speed-up series"
+    )
+    _add_generation_args(sub)
+    sub.add_argument("--cores", default="4,8,64",
+                     help="comma-separated core counts")
+    sub.set_defaults(func=cmd_speedup)
+
+    sub = subparsers.add_parser(
+        "compare", help="compare two chains (Figs. 8-9 style)"
+    )
+    sub.add_argument("--left", required=True)
+    sub.add_argument("--right", required=True)
+    sub.add_argument("--blocks", type=int, default=80)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--scale", type=float, default=0.5)
+    sub.set_defaults(func=cmd_compare)
+
+    sub = subparsers.add_parser(
+        "examples", help="print the paper's worked examples"
+    )
+    sub.set_defaults(func=cmd_examples)
+
+    sub = subparsers.add_parser(
+        "export", help="export a simulated chain to CSV tables"
+    )
+    _add_generation_args(sub)
+    sub.add_argument("--out", required=True, help="output directory")
+    sub.set_defaults(func=cmd_export)
+
+    sub = subparsers.add_parser(
+        "report",
+        help="regenerate every paper table/figure into a directory",
+    )
+    sub.add_argument("--out", required=True, help="output directory")
+    sub.add_argument("--blocks", type=int, default=120)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--scale", type=float, default=0.5)
+    sub.add_argument("--buckets", type=int, default=16)
+    sub.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Consensus substrate: PoW timing/miner selection and PBFT committees."""
+
+from repro.consensus.pbft import (
+    PBFTCommittee,
+    PBFTRoundResult,
+    consensus_vs_execution_share,
+)
+from repro.consensus.pow import MinedSlot, Miner, PoWSimulator, make_pool_set
+
+__all__ = [
+    "PBFTCommittee",
+    "PBFTRoundResult",
+    "consensus_vs_execution_share",
+    "MinedSlot",
+    "Miner",
+    "PoWSimulator",
+    "make_pool_set",
+]

@@ -1,0 +1,169 @@
+"""Proof-of-Work simulation with difficulty retargeting.
+
+The substrates need PoW for two things: realistic block *timing* (the
+inter-block intervals that turn a block index into a calendar date for
+the historical figures) and miner selection (mining pools are one of the
+paper's conjectured sources of UTXO-model conflicts, so who mines a
+block matters to the workload).
+
+Mining is simulated, not hashed: block intervals are exponentially
+distributed with rate = network hashrate / difficulty, the memoryless
+behaviour of real PoW.  Difficulty retargets so the realised interval
+tracks the chain's target (every 2016 blocks for the Bitcoin family,
+per-block smoothing for the Ethereum family).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Miner:
+    """A mining entity (solo miner or pool) with a hashrate share."""
+
+    name: str
+    address: str
+    hashrate_share: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hashrate_share <= 1.0:
+            raise ValueError("hashrate share must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class MinedSlot:
+    """The outcome of mining one block: who, when, at what difficulty."""
+
+    height: int
+    miner: Miner
+    timestamp: float
+    interval: float
+    difficulty: float
+    nonce: int
+
+
+@dataclass
+class PoWSimulator:
+    """Simulates a PoW network producing a block stream.
+
+    Args:
+        miners: pools/miners with shares summing to (approximately) 1.
+        target_interval: consensus target seconds between blocks
+            (600 Bitcoin, 150 Litecoin, 60 Dogecoin, ~13 Ethereum).
+        retarget_window: blocks per difficulty adjustment (2016 for the
+            Bitcoin family; 1 gives Ethereum-style per-block smoothing).
+        hashrate_growth: multiplicative hashrate growth per block,
+            modelling the secular rise in network hashpower.
+        rng: random source; inject a seeded one for determinism.
+    """
+
+    miners: list[Miner]
+    target_interval: float
+    retarget_window: int = 2016
+    hashrate_growth: float = 0.0
+    rng: random.Random = field(default_factory=random.Random)
+    max_adjustment: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not self.miners:
+            raise ValueError("at least one miner is required")
+        total_share = sum(miner.hashrate_share for miner in self.miners)
+        if not 0.99 <= total_share <= 1.01:
+            raise ValueError(
+                f"miner hashrate shares must sum to ~1, got {total_share}"
+            )
+        if self.target_interval <= 0:
+            raise ValueError("target_interval must be positive")
+        if self.retarget_window < 1:
+            raise ValueError("retarget_window must be at least 1")
+        self._difficulty = 1.0
+        self._hashrate = 1.0 / self.target_interval
+        self._window_start_time: float | None = None
+        self._height = 0
+
+    @property
+    def difficulty(self) -> float:
+        return self._difficulty
+
+    def pick_miner(self) -> Miner:
+        """Sample the block winner proportionally to hashrate share."""
+        roll = self.rng.random()
+        cumulative = 0.0
+        for miner in self.miners:
+            cumulative += miner.hashrate_share
+            if roll <= cumulative:
+                return miner
+        return self.miners[-1]
+
+    def next_slot(self, current_time: float) -> MinedSlot:
+        """Mine the next block after *current_time*.
+
+        Returns the mined slot; the caller stitches it into a ledger.
+        """
+        if self._window_start_time is None:
+            self._window_start_time = current_time
+        # Exponential inter-block time with the memoryless PoW rate.
+        expected = self._difficulty / self._hashrate
+        interval = self.rng.expovariate(1.0 / expected)
+        timestamp = current_time + interval
+        slot = MinedSlot(
+            height=self._height,
+            miner=self.pick_miner(),
+            timestamp=timestamp,
+            interval=interval,
+            difficulty=self._difficulty,
+            nonce=self.rng.getrandbits(32),
+        )
+        self._height += 1
+        self._hashrate *= 1.0 + self.hashrate_growth
+        if self._height % self.retarget_window == 0:
+            self._retarget(timestamp)
+        return slot
+
+    def _retarget(self, now: float) -> None:
+        """Adjust difficulty so the window tracked the target interval."""
+        assert self._window_start_time is not None
+        elapsed = now - self._window_start_time
+        expected = self.retarget_window * self.target_interval
+        if elapsed <= 0:
+            ratio = self.max_adjustment
+        else:
+            ratio = expected / elapsed
+        # Bitcoin clamps any single retarget to a factor of 4.
+        ratio = min(max(ratio, 1.0 / self.max_adjustment), self.max_adjustment)
+        self._difficulty *= ratio
+        self._window_start_time = now
+
+    def mine_chain_timing(
+        self, num_blocks: int, *, start_time: float = 0.0
+    ) -> list[MinedSlot]:
+        """Mine *num_blocks* consecutive slots starting at *start_time*."""
+        if num_blocks < 0:
+            raise ValueError("num_blocks must be non-negative")
+        slots: list[MinedSlot] = []
+        now = start_time
+        for _ in range(num_blocks):
+            slot = self.next_slot(now)
+            slots.append(slot)
+            now = slot.timestamp
+        return slots
+
+
+def make_pool_set(
+    names_and_shares: list[tuple[str, float]],
+    *,
+    address_prefix: str = "pool",
+) -> list[Miner]:
+    """Build a miner set from (name, share) pairs, deriving addresses."""
+    from repro.chain.hashing import address_from_seed
+
+    return [
+        Miner(
+            name=name,
+            address=address_from_seed(f"{address_prefix}|{name}"),
+            hashrate_share=share,
+        )
+        for name, share in names_and_shares
+    ]

@@ -1,0 +1,138 @@
+"""Weighted fixed-bucket aggregation of per-block series — paper §IV.
+
+Every historical figure in the paper is produced the same way: the
+per-block metric history is divided into a fixed number of equal-size
+buckets (20 to 200), and within each bucket a *weighted* average is
+computed, the weight being the block's transaction count or gas
+consumption ("blocks having more transactions or consuming more should
+be weighted more heavily, because they have a greater impact on the
+total execution time").
+
+:class:`BucketedSeries` is the common output consumed by the figure
+builders and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+Item = TypeVar("Item")
+
+
+@dataclass(frozen=True)
+class BucketedSeries:
+    """A bucketed, weighted-average time series.
+
+    Attributes:
+        positions: representative x-coordinate per bucket (mean of the
+            member blocks' positions, e.g. timestamps or heights).
+        values: weighted mean of the metric within each bucket.
+        weights: total weight per bucket.
+        counts: number of blocks per bucket.
+    """
+
+    positions: tuple[float, ...]
+    values: tuple[float, ...]
+    weights: tuple[float, ...]
+    counts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.positions),
+            len(self.values),
+            len(self.weights),
+            len(self.counts),
+        }
+        if len(lengths) != 1:
+            raise ValueError("series fields must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def overall_mean(self) -> float:
+        """Weight-combined mean across all buckets."""
+        total_weight = sum(self.weights)
+        if total_weight == 0:
+            return 0.0
+        return (
+            sum(value * weight for value, weight in zip(self.values, self.weights))
+            / total_weight
+        )
+
+    def tail_mean(self, buckets: int = 3) -> float:
+        """Weighted mean of the final *buckets* buckets (steady state)."""
+        if buckets < 1:
+            raise ValueError("buckets must be positive")
+        tail_values = self.values[-buckets:]
+        tail_weights = self.weights[-buckets:]
+        total = sum(tail_weights)
+        if total == 0:
+            return 0.0
+        return sum(v * w for v, w in zip(tail_values, tail_weights)) / total
+
+
+def bucketize(
+    items: Sequence[Item],
+    *,
+    num_buckets: int,
+    value: Callable[[Item], float],
+    weight: Callable[[Item], float] = lambda _item: 1.0,
+    position: Callable[[Item], float] | None = None,
+) -> BucketedSeries:
+    """Divide *items* (already in chain order) into equal-size buckets.
+
+    Args:
+        items: per-block records, oldest first.
+        num_buckets: number of buckets; clamped to ``len(items)`` so a
+            short history yields one block per bucket.
+        value: metric extractor.
+        weight: weight extractor (tx count, gas, block bytes, ...).
+            Zero-weight buckets fall back to the unweighted mean.
+        position: x-coordinate extractor; defaults to the item index.
+
+    Raises:
+        ValueError: for an empty history or non-positive bucket count.
+    """
+    if not items:
+        raise ValueError("cannot bucketize an empty history")
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be positive")
+    num_buckets = min(num_buckets, len(items))
+
+    positions: list[float] = []
+    values: list[float] = []
+    weights: list[float] = []
+    counts: list[int] = []
+    total = len(items)
+    for bucket_index in range(num_buckets):
+        start = bucket_index * total // num_buckets
+        stop = (bucket_index + 1) * total // num_buckets
+        members = items[start:stop]
+        if not members:
+            continue
+        member_weights = [weight(item) for item in members]
+        member_values = [value(item) for item in members]
+        bucket_weight = sum(member_weights)
+        if bucket_weight > 0:
+            mean = (
+                sum(v * w for v, w in zip(member_values, member_weights))
+                / bucket_weight
+            )
+        else:
+            mean = sum(member_values) / len(member_values)
+        if position is not None:
+            bucket_position = sum(position(item) for item in members) / len(members)
+        else:
+            bucket_position = (start + stop - 1) / 2.0
+        positions.append(bucket_position)
+        values.append(mean)
+        weights.append(bucket_weight)
+        counts.append(len(members))
+    return BucketedSeries(
+        positions=tuple(positions),
+        values=tuple(values),
+        weights=tuple(weights),
+        counts=tuple(counts),
+    )

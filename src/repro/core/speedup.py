@@ -1,0 +1,185 @@
+"""Analytical execution speed-up models — paper §V.
+
+All models assume unit-cost transactions: a block of ``x`` transactions
+takes ``T = x`` time units sequentially.  Speed-up ``R`` is old time over
+new time, ``T / T'``.
+
+Single-transaction concurrency (§V-A, the Saraph–Herlihy two-phase
+technique): run everything concurrently on ``n`` cores, then re-run the
+``c·x`` conflicted transactions sequentially.
+
+    T' = floor(x/n) + 1 + c·x                          (no prior knowledge)
+    T' = K + floor((1-c)·x/n) + 1 + c·x                (perfect knowledge,
+                                                        pre-processing K)
+    R  = x / T'                                        (Eq. 1)
+
+Group concurrency (§V-B): with the TDG known, each dependency group can
+run on its own core; the LCC (relative size ``l``) is the critical path.
+
+    R = min(n, 1/l)                                    (Eq. 2)
+    R = min(x/(x/n + K), x/(l·x + K))                  (K-corrected)
+
+The paper's worked examples (blocks 1000007 and 1000124 of Fig. 1) are
+reproduced in the tests against these exact functions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.metrics import BlockMetrics
+
+
+def _validate_common(x: int, n: int) -> None:
+    if x < 0:
+        raise ValueError("transaction count x must be non-negative")
+    if n < 1:
+        raise ValueError("core count n must be at least 1")
+
+
+def _validate_rate(rate: float, name: str) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {rate}")
+
+
+def speculative_time(x: int, n: int, c: float) -> float:
+    """New execution time T' of the fully speculative two-phase scheme.
+
+    Phase one executes all ``x`` transactions on ``n`` cores
+    (``floor(x/n) + 1`` time units); phase two re-executes the ``c·x``
+    conflicted ones sequentially.
+    """
+    _validate_common(x, n)
+    _validate_rate(c, "conflict rate c")
+    if x == 0:
+        return 0.0
+    return math.floor(x / n) + 1 + c * x
+
+
+def speculative_speedup(x: int, n: int, c: float) -> float:
+    """Eq. 1: R = x / (floor(x/n) + 1 + c·x)."""
+    if x == 0:
+        return 1.0
+    return x / speculative_time(x, n, c)
+
+
+def informed_time(x: int, n: int, c: float, k: float = 0.0) -> float:
+    """T' with perfect prior knowledge of the conflicted set.
+
+    Only the ``(1-c)·x`` unconflicted transactions run in the concurrent
+    phase; the conflicted ``c·x`` run once, sequentially.  ``k`` is the
+    cost of the pre-processing step that identifies the conflicted set.
+    """
+    _validate_common(x, n)
+    _validate_rate(c, "conflict rate c")
+    if k < 0:
+        raise ValueError("pre-processing cost k must be non-negative")
+    if x == 0:
+        return 0.0
+    return k + math.floor((1 - c) * x / n) + 1 + c * x
+
+
+def informed_speedup(x: int, n: int, c: float, k: float = 0.0) -> float:
+    """Perfect-information variant of Eq. 1."""
+    if x == 0:
+        return 1.0
+    return x / informed_time(x, n, c, k)
+
+
+def group_speedup_bound(n: int, l: float) -> float:
+    """Eq. 2: the group-concurrency upper bound R = min(n, 1/l).
+
+    ``l`` is the group conflict rate (relative LCC size).  ``l == 0``
+    (an empty block) yields ``n``: with nothing on the critical path the
+    core count is the only limit.
+    """
+    if n < 1:
+        raise ValueError("core count n must be at least 1")
+    _validate_rate(l, "group conflict rate l")
+    if l == 0.0:
+        return float(n)
+    return min(float(n), 1.0 / l)
+
+
+def group_speedup_with_overhead(x: int, n: int, l: float, k: float) -> float:
+    """K-corrected group speed-up: min(x/(x/n + K), x/(l·x + K)).
+
+    Accounts for the cost ``k`` of building the TDG and scheduling; the
+    paper notes the correction is negligible when ``k`` is small against
+    the block's total execution time.
+    """
+    _validate_common(x, n)
+    _validate_rate(l, "group conflict rate l")
+    if k < 0:
+        raise ValueError("scheduling cost k must be non-negative")
+    if x == 0:
+        return 1.0
+    core_bound = x / (x / n + k)
+    path_bound = x / (l * x + k) if (l * x + k) > 0 else float(n)
+    return min(core_bound, path_bound)
+
+
+def speculative_time_exact(x: int, n: int, c: float) -> float:
+    """Exact T' of the two-phase scheme, using ceil for phase one.
+
+    Eq. 1 approximates the concurrent phase as ``floor(x/n) + 1``; when
+    ``n`` divides ``x`` that over-counts by one unit.  The paper's worked
+    examples (§V-A: speed-up 5/3 for block 1000007 with n >= 5, and
+    16/15 for block 1000124 with n >= 16) use the exact phase length
+    ``ceil(x/n)``, which this function implements.  The sequential phase
+    re-runs the conflicted transactions, rounded to whole transactions.
+    """
+    _validate_common(x, n)
+    _validate_rate(c, "conflict rate c")
+    if x == 0:
+        return 0.0
+    return math.ceil(x / n) + round(c * x)
+
+
+def speculative_speedup_exact(x: int, n: int, c: float) -> float:
+    """Exact-counting counterpart of :func:`speculative_speedup`."""
+    if x == 0:
+        return 1.0
+    return x / speculative_time_exact(x, n, c)
+
+
+@dataclass(frozen=True)
+class SpeedupEstimate:
+    """Both models' predictions for one block at a given core count."""
+
+    cores: int
+    speculative: float
+    informed: float
+    group_bound: float
+
+    @property
+    def best(self) -> float:
+        return max(self.speculative, self.informed, self.group_bound)
+
+
+def estimate_block_speedups(
+    metrics: BlockMetrics,
+    cores: int,
+    *,
+    preprocessing_cost: float = 0.0,
+    weighted: bool = False,
+) -> SpeedupEstimate:
+    """Apply all three models to one block's measured metrics.
+
+    With ``weighted=True`` the gas-weighted conflict rates are used in
+    place of the tx-count rates (cf. Fig. 4's thin lines).
+    """
+    x = metrics.num_transactions
+    if weighted:
+        c = metrics.weighted_single_conflict_rate
+        l = metrics.weighted_group_conflict_rate
+    else:
+        c = metrics.single_conflict_rate
+        l = metrics.group_conflict_rate
+    return SpeedupEstimate(
+        cores=cores,
+        speculative=speculative_speedup(x, cores, c),
+        informed=informed_speedup(x, cores, c, preprocessing_cost),
+        group_bound=group_speedup_bound(cores, l),
+    )

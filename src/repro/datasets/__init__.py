@@ -1,0 +1,47 @@
+"""Dataset layer: BigQuery-shaped stores, queries, and the Zilliqa client."""
+
+from repro.datasets.export import export_account_blocks, export_utxo_ledger
+from repro.datasets.queries import (
+    BlockQueryRow,
+    process_graph,
+    query_account_conflicts,
+    query_utxo_conflicts,
+)
+from repro.datasets.schema import (
+    AccountTraceRow,
+    AccountTransactionRow,
+    BlockRow,
+    UTXOInputRow,
+    UTXOTransactionRow,
+    row_from_dict,
+    row_to_dict,
+)
+from repro.datasets.store import TABLE_SCHEMAS, DatasetStore
+from repro.datasets.zilliqa_client import (
+    RPCError,
+    SimulatedClock,
+    SimulatedZilliqaNode,
+    ZilliqaCollector,
+)
+
+__all__ = [
+    "export_account_blocks",
+    "export_utxo_ledger",
+    "BlockQueryRow",
+    "process_graph",
+    "query_account_conflicts",
+    "query_utxo_conflicts",
+    "AccountTraceRow",
+    "AccountTransactionRow",
+    "BlockRow",
+    "UTXOInputRow",
+    "UTXOTransactionRow",
+    "row_from_dict",
+    "row_to_dict",
+    "TABLE_SCHEMAS",
+    "DatasetStore",
+    "RPCError",
+    "SimulatedClock",
+    "SimulatedZilliqaNode",
+    "ZilliqaCollector",
+]

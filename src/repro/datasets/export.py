@@ -1,0 +1,127 @@
+"""Export built chains into BigQuery-shaped dataset stores.
+
+This is the bridge between the substrates and the query layer: a UTXO
+ledger becomes ``blocks`` + ``utxo_transactions`` + ``utxo_inputs``
+tables, an executed account chain becomes ``blocks`` +
+``account_transactions`` + ``account_traces`` tables — the same
+information the public BigQuery datasets expose to the paper's SQL.
+"""
+
+from __future__ import annotations
+
+from repro.account.receipts import ExecutedTransaction
+from repro.account.transaction import AccountTransaction
+from repro.chain.block import Block
+from repro.chain.ledger import Ledger
+from repro.datasets.schema import (
+    AccountTraceRow,
+    AccountTransactionRow,
+    BlockRow,
+    UTXOInputRow,
+    UTXOTransactionRow,
+)
+from repro.datasets.store import DatasetStore
+from repro.utxo.transaction import UTXOTransaction
+from repro.vm.tracer import trace_rows_for_block
+
+
+def export_utxo_ledger(
+    ledger: Ledger[UTXOTransaction], *, chain: str
+) -> DatasetStore:
+    """Flatten a UTXO ledger into Bitcoin-schema tables."""
+    store = DatasetStore(chain=chain)
+    for block in ledger:
+        store.insert(
+            "blocks",
+            [
+                BlockRow(
+                    block_number=block.height,
+                    timestamp=block.header.timestamp,
+                    miner=block.header.miner,
+                    transaction_count=len(block),
+                )
+            ],
+        )
+        tx_rows = []
+        input_rows = []
+        for tx in block:
+            tx_rows.append(
+                UTXOTransactionRow(
+                    block_number=block.height,
+                    tx_hash=tx.tx_hash,
+                    is_coinbase=tx.is_coinbase,
+                    input_count=len(tx.inputs),
+                    output_count=len(tx.outputs),
+                    output_value=tx.total_output_value(),
+                    size_bytes=tx.size_bytes,
+                )
+            )
+            input_rows.extend(
+                UTXOInputRow(
+                    block_number=block.height,
+                    spending_tx_hash=tx.tx_hash,
+                    spent_tx_hash=outpoint.tx_hash,
+                )
+                for outpoint in tx.inputs
+            )
+        store.insert("utxo_transactions", tx_rows)
+        store.insert("utxo_inputs", input_rows)
+    return store
+
+
+def export_account_blocks(
+    executed_blocks: list[tuple[Block[AccountTransaction], list[ExecutedTransaction]]],
+    *,
+    chain: str,
+) -> DatasetStore:
+    """Flatten executed account blocks into Ethereum-schema tables."""
+    store = DatasetStore(chain=chain)
+    for block, executed in executed_blocks:
+        store.insert(
+            "blocks",
+            [
+                BlockRow(
+                    block_number=block.height,
+                    timestamp=block.header.timestamp,
+                    miner=block.header.miner,
+                    transaction_count=len(block),
+                )
+            ],
+        )
+        store.insert(
+            "account_transactions",
+            [
+                AccountTransactionRow(
+                    block_number=block.height,
+                    tx_hash=item.tx.tx_hash,
+                    from_address=item.tx.sender,
+                    to_address=(
+                        item.receipt.created_contract
+                        if item.tx.is_contract_creation
+                        and item.receipt.created_contract
+                        else item.tx.receiver
+                    ),
+                    value=item.tx.value,
+                    gas_used=item.gas_used,
+                    gas_price=item.tx.gas_price,
+                    is_coinbase=item.tx.is_coinbase,
+                )
+                for item in executed
+            ],
+        )
+        store.insert(
+            "account_traces",
+            [
+                AccountTraceRow(
+                    block_number=row.block_number,
+                    tx_hash=row.transaction_hash,
+                    from_address=row.from_address,
+                    to_address=row.to_address,
+                    value=row.value,
+                    trace_type=row.trace_type,
+                    trace_address=row.trace_address,
+                )
+                for row in trace_rows_for_block(block.height, executed)
+            ],
+        )
+    return store

@@ -1,0 +1,102 @@
+"""Row schemas mirroring the BigQuery public crypto datasets.
+
+The paper queries six chains through two BigQuery schemas: the Bitcoin
+dataset layout (shared by Bitcoin Cash, Litecoin, Dogecoin) and the
+Ethereum layout (shared by Ethereum Classic).  This module defines the
+subset of columns the paper's queries touch, so the reproduction's
+query layer (:mod:`repro.datasets.queries`) runs against the same shape
+of data the real pipeline did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Type, TypeVar
+
+RowT = TypeVar("RowT", bound="object")
+
+
+@dataclass(frozen=True)
+class UTXOInputRow:
+    """One (transaction, input) pair from a Bitcoin-style dataset.
+
+    Corresponds to the paper's Fig. 2 inner query: ``UNNEST(inputs)``
+    over the transactions table yields one row per input, carrying the
+    spending transaction's hash and the hash of the transaction that
+    created the spent output.
+    """
+
+    block_number: int
+    spending_tx_hash: str
+    spent_tx_hash: str
+
+
+@dataclass(frozen=True)
+class UTXOTransactionRow:
+    """One transaction from a Bitcoin-style dataset (per-tx columns)."""
+
+    block_number: int
+    tx_hash: str
+    is_coinbase: bool
+    input_count: int
+    output_count: int
+    output_value: int
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class AccountTransactionRow:
+    """One transaction from an Ethereum-style dataset."""
+
+    block_number: int
+    tx_hash: str
+    from_address: str
+    to_address: str
+    value: int
+    gas_used: int
+    gas_price: int
+    is_coinbase: bool
+
+
+@dataclass(frozen=True)
+class AccountTraceRow:
+    """One trace row from an Ethereum-style ``traces`` table."""
+
+    block_number: int
+    tx_hash: str
+    from_address: str
+    to_address: str
+    value: int
+    trace_type: str
+    trace_address: str
+
+
+@dataclass(frozen=True)
+class BlockRow:
+    """One block header row (both schemas share these columns)."""
+
+    block_number: int
+    timestamp: float
+    miner: str
+    transaction_count: int
+
+
+def row_to_dict(row: object) -> dict[str, Any]:
+    """Serialise a schema row to a plain dict (CSV export)."""
+    return {f.name: getattr(row, f.name) for f in fields(row)}
+
+
+def row_from_dict(row_type: Type[RowT], data: dict[str, str]) -> RowT:
+    """Rebuild a schema row from string-valued CSV fields."""
+    kwargs: dict[str, Any] = {}
+    for f in fields(row_type):
+        raw = data[f.name]
+        if f.type in ("int", int):
+            kwargs[f.name] = int(raw)
+        elif f.type in ("float", float):
+            kwargs[f.name] = float(raw)
+        elif f.type in ("bool", bool):
+            kwargs[f.name] = raw in ("True", "true", "1")
+        else:
+            kwargs[f.name] = raw
+    return row_type(**kwargs)

@@ -1,0 +1,21 @@
+"""Economics of verification: the Verifier's Dilemma model (§II-C)."""
+
+from repro.economics.verifier import (
+    SecurityGain,
+    VerifierParams,
+    expected_reward_skipper,
+    expected_reward_verifier,
+    invalid_block_survival,
+    security_gain_from_speedup,
+    verification_equilibrium,
+)
+
+__all__ = [
+    "SecurityGain",
+    "VerifierParams",
+    "expected_reward_skipper",
+    "expected_reward_verifier",
+    "invalid_block_survival",
+    "security_gain_from_speedup",
+    "verification_equilibrium",
+]

@@ -1,0 +1,40 @@
+"""Parallel execution engines validating the paper's speed-up models."""
+
+from repro.execution.engine import (
+    ExecutionReport,
+    SequentialExecutor,
+    TxTask,
+    conflict_groups,
+    tasks_from_account_block,
+    tasks_from_tdg,
+    tasks_from_utxo_block,
+)
+from repro.execution.dag import DependencyDAG, account_dag, utxo_dag
+from repro.execution.grouped import GroupedExecutor
+from repro.execution.occ import OCCExecutor
+from repro.execution.simulator import CoreSimulator, SimulatedRun
+from repro.execution.speculative import (
+    InformedSpeculativeExecutor,
+    SpeculativeExecutor,
+    split_conflicted,
+)
+
+__all__ = [
+    "ExecutionReport",
+    "SequentialExecutor",
+    "TxTask",
+    "conflict_groups",
+    "tasks_from_account_block",
+    "tasks_from_tdg",
+    "tasks_from_utxo_block",
+    "DependencyDAG",
+    "account_dag",
+    "utxo_dag",
+    "GroupedExecutor",
+    "OCCExecutor",
+    "CoreSimulator",
+    "SimulatedRun",
+    "InformedSpeculativeExecutor",
+    "SpeculativeExecutor",
+    "split_conflicted",
+]

@@ -1,0 +1,230 @@
+"""Dependency-DAG execution: how pessimistic is the LCC assumption?
+
+The paper's group model treats each connected component as strictly
+sequential: "the size of largest connected component is the largest
+number of transactions that need to be executed sequentially" (§V-B).
+That is an over-approximation.  The true constraint inside a component
+is a *partial order*:
+
+* UTXO model — transaction ``b`` must follow ``a`` only when ``b``
+  spends an output ``a`` creates.  A fan-out's children are mutually
+  independent: a 25-transaction component whose shape is one parent
+  plus 24 children has critical path 2, not 25.
+* account model — two transactions must be ordered only when they
+  directly share an address (balance cell); block order orients the
+  edge.  A pure exchange fan-in really is sequential (every deposit
+  writes the same balance), so for account chains the paper's
+  assumption is tight; for UTXO chains it is loose.
+
+:class:`DependencyDAG` builds the partial order, computes the critical
+path, and schedules it on ``n`` cores with precedence-constrained list
+scheduling.  The bench compares the resulting speed-ups against the
+chain-per-component model (Eq. 2's basis).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.account.receipts import ExecutedTransaction
+from repro.utxo.transaction import UTXOTransaction
+
+
+@dataclass
+class DependencyDAG:
+    """A precedence DAG over one block's transactions.
+
+    Edges ``u -> v`` mean v must execute after u.  Construction
+    guarantees acyclicity by only adding edges from earlier to later
+    block positions.
+    """
+
+    order: list[str] = field(default_factory=list)
+    costs: dict[str, float] = field(default_factory=dict)
+    successors: dict[str, set[str]] = field(default_factory=dict)
+    predecessors: dict[str, set[str]] = field(default_factory=dict)
+
+    def add_task(self, tx_hash: str, cost: float = 1.0) -> None:
+        if tx_hash in self.costs:
+            raise ValueError(f"duplicate task {tx_hash!r}")
+        if cost < 0:
+            raise ValueError("cost must be non-negative")
+        self.order.append(tx_hash)
+        self.costs[tx_hash] = cost
+        self.successors[tx_hash] = set()
+        self.predecessors[tx_hash] = set()
+
+    def add_edge(self, earlier: str, later: str) -> None:
+        if earlier not in self.costs or later not in self.costs:
+            raise KeyError("both endpoints must be tasks")
+        if earlier == later:
+            return
+        position = {h: i for i, h in enumerate(self.order)}
+        if position[earlier] > position[later]:
+            earlier, later = later, earlier
+        self.successors[earlier].add(later)
+        self.predecessors[later].add(earlier)
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    @property
+    def total_work(self) -> float:
+        return sum(self.costs.values())
+
+    def critical_path(self) -> float:
+        """Length of the longest cost-weighted path (infinite cores)."""
+        finish: dict[str, float] = {}
+        for tx_hash in self.order:  # block order is a topological order
+            ready = max(
+                (finish[p] for p in self.predecessors[tx_hash]),
+                default=0.0,
+            )
+            finish[tx_hash] = ready + self.costs[tx_hash]
+        return max(finish.values(), default=0.0)
+
+    def downstream_path(self) -> dict[str, float]:
+        """For each task, the cost of the longest path it heads.
+
+        The standard critical-path (HLF) priority: tasks heading long
+        dependency chains should dispatch first, or a late-starting
+        chain dominates the makespan.
+        """
+        downstream: dict[str, float] = {}
+        for tx_hash in reversed(self.order):  # reverse topological
+            tail = max(
+                (downstream[s] for s in self.successors[tx_hash]),
+                default=0.0,
+            )
+            downstream[tx_hash] = self.costs[tx_hash] + tail
+        return downstream
+
+    def schedule_makespan(self, cores: int) -> float:
+        """Precedence-constrained list scheduling on *cores* cores.
+
+        Ready tasks dispatch by critical-path priority (longest
+        downstream chain first, block order as tiebreak) to the
+        earliest-free core — the classic HLF heuristic.
+        """
+        if cores < 1:
+            raise ValueError("cores must be at least 1")
+        if not self.order:
+            return 0.0
+        indegree = {
+            h: len(self.predecessors[h]) for h in self.order
+        }
+        position = {h: i for i, h in enumerate(self.order)}
+        downstream = self.downstream_path()
+
+        # Two heaps: tasks waiting on predecessors keyed by ready time,
+        # and tasks ready to run keyed by priority.  A core that frees
+        # at time t runs the highest-priority task ready by t.
+        waiting: list[tuple[float, int, str]] = []
+        ready: list[tuple[float, int, str]] = []
+        for h in self.order:
+            if indegree[h] == 0:
+                heapq.heappush(ready, (-downstream[h], position[h], h))
+        ready_time: dict[str, float] = {}
+        core_free: list[float] = [0.0] * cores
+        heapq.heapify(core_free)
+        finish: dict[str, float] = {}
+        scheduled = 0
+        now = 0.0
+        while scheduled < len(self.order):
+            if not ready:
+                # Idle until the next task becomes ready.
+                assert waiting, "deadlock: nothing ready, nothing waiting"
+                now = max(now, waiting[0][0])
+            while waiting and waiting[0][0] <= now:
+                _t, pos, h = heapq.heappop(waiting)
+                heapq.heappush(ready, (-downstream[h], pos, h))
+            if not ready:
+                continue
+            core_time = heapq.heappop(core_free)
+            start_floor = max(core_time, now)
+            _prio, _pos, tx_hash = heapq.heappop(ready)
+            start = max(start_floor, ready_time.get(tx_hash, 0.0))
+            end = start + self.costs[tx_hash]
+            heapq.heappush(core_free, end)
+            finish[tx_hash] = end
+            scheduled += 1
+            now = max(now, core_free[0])
+            for successor in self.successors[tx_hash]:
+                indegree[successor] -= 1
+                ready_time[successor] = max(
+                    ready_time.get(successor, 0.0), end
+                )
+                if indegree[successor] == 0:
+                    if ready_time[successor] <= now:
+                        heapq.heappush(
+                            ready,
+                            (
+                                -downstream[successor],
+                                position[successor],
+                                successor,
+                            ),
+                        )
+                    else:
+                        heapq.heappush(
+                            waiting,
+                            (
+                                ready_time[successor],
+                                position[successor],
+                                successor,
+                            ),
+                        )
+        if len(finish) != len(self.order):
+            raise RuntimeError("cycle detected in dependency DAG")
+        return max(finish.values())
+
+    def speedup(self, cores: int) -> float:
+        """Total work over the scheduled makespan."""
+        makespan = self.schedule_makespan(cores)
+        if makespan == 0:
+            return 1.0
+        return self.total_work / makespan
+
+
+def utxo_dag(transactions: Sequence[UTXOTransaction]) -> DependencyDAG:
+    """The true UTXO partial order: creator -> spender edges only."""
+    dag = DependencyDAG()
+    regular = [tx for tx in transactions if not tx.is_coinbase]
+    for tx in regular:
+        dag.add_task(tx.tx_hash)
+    in_block = {tx.tx_hash for tx in regular}
+    for tx in regular:
+        for outpoint in tx.inputs:
+            if outpoint.tx_hash in in_block:
+                dag.add_edge(outpoint.tx_hash, tx.tx_hash)
+    return dag
+
+
+def account_dag(
+    executed: Sequence[ExecutedTransaction], *, unit_cost: bool = True
+) -> DependencyDAG:
+    """Account-model partial order: direct address sharing, block order.
+
+    Each transaction touches its regular and internal endpoints; a
+    later transaction depends on the most recent earlier transaction
+    touching each shared address (chaining per address, like per-cell
+    write locks).
+    """
+    dag = DependencyDAG()
+    last_toucher: dict[str, str] = {}
+    for item in executed:
+        if item.is_coinbase:
+            continue
+        cost = 1.0 if unit_cost else max(1.0, item.gas_used / 21_000.0)
+        dag.add_task(item.tx_hash, cost=cost)
+        touched: set[str] = set()
+        for sender, receiver in item.edges():
+            touched.add(sender)
+            touched.add(receiver)
+        for address in touched:
+            previous = last_toucher.get(address)
+            if previous is not None:
+                dag.add_edge(previous, item.tx_hash)
+            last_toucher[address] = item.tx_hash
+    return dag

@@ -1,0 +1,212 @@
+"""Execution-engine core: tasks, conflict relations, reports, baseline.
+
+The paper's speed-up models (§V) reason about an execution engine that
+did not exist yet ("we have not designed and implemented an execution
+engine that can exploit the available concurrency").  This package
+builds that engine in simulation: transactions become
+:class:`TxTask` objects carrying a cost and read/write sets, and the
+executors in :mod:`repro.execution.speculative`, :mod:`.grouped` and
+:mod:`.occ` schedule them on a simulated multicore, so their measured
+wall-clock can be compared against Eqs. 1-2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.account.receipts import ExecutedTransaction
+from repro.core.components import UnionFind
+from repro.core.tdg import TDGResult
+from repro.utxo.transaction import UTXOTransaction
+
+
+@dataclass(frozen=True)
+class TxTask:
+    """One schedulable transaction.
+
+    Attributes:
+        tx_hash: identifier.
+        cost: execution time in abstract units (1.0 = the paper's
+            unit-cost assumption; gas-proportional costs are an
+            extension the benches exercise).
+        reads: locations read.
+        writes: locations written.  Two tasks conflict when one writes
+            a location the other reads or writes.
+    """
+
+    tx_hash: str
+    cost: float = 1.0
+    reads: frozenset[str] = field(default_factory=frozenset)
+    writes: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise ValueError("cost must be non-negative")
+
+    def conflicts_with(self, other: "TxTask") -> bool:
+        """Storage-level conflict test (write/write or read/write)."""
+        if self.writes & other.writes:
+            return True
+        if self.writes & other.reads:
+            return True
+        if self.reads & other.writes:
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Outcome of running a block through an executor."""
+
+    executor: str
+    cores: int
+    wall_time: float
+    total_work: float
+    num_tasks: int
+    reexecuted: int = 0
+    aborts: int = 0
+    rounds: int = 1
+
+    @property
+    def speedup(self) -> float:
+        """Sequential time over parallel wall time (the paper's R)."""
+        if self.wall_time == 0:
+            return 1.0
+        return self.total_work / self.wall_time
+
+    @property
+    def efficiency(self) -> float:
+        """Speed-up per core."""
+        return self.speedup / self.cores
+
+
+def conflict_groups(tasks: Sequence[TxTask]) -> list[list[TxTask]]:
+    """Partition *tasks* into storage-conflict groups via union-find."""
+    forest = UnionFind()
+    location_writer: dict[str, str] = {}
+    location_readers: dict[str, list[str]] = {}
+    by_hash: dict[str, TxTask] = {}
+    for task in tasks:
+        by_hash[task.tx_hash] = task
+        forest.add(task.tx_hash)
+        for location in task.writes:
+            if location in location_writer:
+                forest.union(location_writer[location], task.tx_hash)
+            else:
+                location_writer[location] = task.tx_hash
+            for reader in location_readers.get(location, ()):
+                forest.union(reader, task.tx_hash)
+        for location in task.reads:
+            location_readers.setdefault(location, []).append(task.tx_hash)
+            if location in location_writer:
+                forest.union(location_writer[location], task.tx_hash)
+    groups: dict[object, list[TxTask]] = {}
+    for tx_hash in by_hash:
+        groups.setdefault(forest.find(tx_hash), []).append(by_hash[tx_hash])
+    return list(groups.values())
+
+
+class SequentialExecutor:
+    """The baseline every blockchain client implements today (§II-A)."""
+
+    name = "sequential"
+
+    def run(self, tasks: Sequence[TxTask], cores: int = 1) -> ExecutionReport:
+        """Execute in block order on one core; wall time is total work."""
+        total = sum(task.cost for task in tasks)
+        return ExecutionReport(
+            executor=self.name,
+            cores=1,
+            wall_time=total,
+            total_work=total,
+            num_tasks=len(tasks),
+        )
+
+
+# -- task adapters ------------------------------------------------------------
+
+
+def tasks_from_utxo_block(
+    transactions: Sequence[UTXOTransaction], *, unit_cost: bool = True
+) -> list[TxTask]:
+    """Tasks for a UTXO block: reads are inputs, writes are outputs.
+
+    Coinbases are excluded, matching the TDG convention.  An input
+    outpoint is a read-modify-write of the UTXO set entry, so inputs are
+    placed in the write set; created outputs are writes by definition.
+    """
+    tasks: list[TxTask] = []
+    for tx in transactions:
+        if tx.is_coinbase:
+            continue
+        writes = {str(op) for op in tx.inputs}
+        writes.update(str(op) for op in tx.outpoints_created())
+        cost = 1.0 if unit_cost else max(1.0, len(tx.inputs) + len(tx.outputs))
+        tasks.append(
+            TxTask(
+                tx_hash=tx.tx_hash,
+                cost=cost,
+                reads=frozenset(),
+                writes=frozenset(writes),
+            )
+        )
+    return tasks
+
+
+def tasks_from_account_block(
+    executed: Sequence[ExecutedTransaction], *, unit_cost: bool = True
+) -> list[TxTask]:
+    """Tasks for an account block: balance cells plus storage accesses."""
+    tasks: list[TxTask] = []
+    for item in executed:
+        if item.is_coinbase:
+            continue
+        writes = {f"balance:{item.tx.sender}", f"balance:{item.tx.receiver}"}
+        for internal in item.receipt.internal_transactions:
+            writes.add(f"balance:{internal.sender}")
+            writes.add(f"balance:{internal.receiver}")
+        writes.update(
+            f"storage:{address}:{key}"
+            for address, key in item.receipt.storage_writes
+        )
+        reads = {
+            f"storage:{address}:{key}"
+            for address, key in item.receipt.storage_reads
+        }
+        cost = 1.0 if unit_cost else max(1.0, item.gas_used / 21_000.0)
+        tasks.append(
+            TxTask(
+                tx_hash=item.tx_hash,
+                cost=cost,
+                reads=frozenset(reads),
+                writes=frozenset(writes),
+            )
+        )
+    return tasks
+
+
+def tasks_from_tdg(
+    tdg: TDGResult, *, costs: dict[str, float] | None = None
+) -> list[TxTask]:
+    """Tasks whose conflict structure reproduces a TDG's partition.
+
+    Each dependency group gets a private synthetic location written by
+    all its members, so ``conflict_groups`` recovers exactly the TDG
+    groups.  Used to drive the executors from address-level TDGs, whose
+    conflicts are coarser than storage-level ones.
+    """
+    tasks: list[TxTask] = []
+    for group_index, group in enumerate(tdg.groups):
+        location = f"group:{group_index}"
+        for tx_hash in group:
+            cost = 1.0 if costs is None else costs.get(tx_hash, 1.0)
+            writes = (
+                frozenset({location})
+                if len(group) > 1
+                else frozenset({f"solo:{tx_hash}"})
+            )
+            tasks.append(
+                TxTask(tx_hash=tx_hash, cost=cost, writes=writes)
+            )
+    return tasks

@@ -1,0 +1,10 @@
+"""Mempool substrate: fee market, RBF, eviction, block packing."""
+
+from repro.mempool.pool import (
+    AdmissionError,
+    Mempool,
+    MempoolError,
+    PoolEntry,
+)
+
+__all__ = ["AdmissionError", "Mempool", "MempoolError", "PoolEntry"]

@@ -1,0 +1,22 @@
+"""Zilliqa-style network sharding substrate."""
+
+from repro.sharding.epochs import EpochCosts, EpochTiming, epoch_time, shard_sweep
+from repro.sharding.committee import (
+    CommitteeAssignment,
+    NodeIdentity,
+    shard_for_address,
+)
+from repro.sharding.zilliqa import MicroBlock, ShardedChainBuilder, TxBlock
+
+__all__ = [
+    "EpochCosts",
+    "EpochTiming",
+    "epoch_time",
+    "shard_sweep",
+    "CommitteeAssignment",
+    "NodeIdentity",
+    "shard_for_address",
+    "MicroBlock",
+    "ShardedChainBuilder",
+    "TxBlock",
+]

@@ -1,0 +1,162 @@
+"""Contract code registry and a small text assembler.
+
+Contracts are stored as programs (tuples of instructions) in a global
+per-chain :class:`CodeRegistry` keyed by ``code_id``.  Account state only
+carries the ``code_id`` string; the registry resolves it at execution
+time.  A tiny assembler converts a readable text format into programs so
+workload profiles and tests can define contract behaviours declaratively.
+
+Assembly format — one instruction per line, ``;`` starts a comment::
+
+    push 5
+    sstore counter      ; storage[counter] = 5
+    call 0xabc... 100   ; internal transaction with value 100
+    stop
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vm.opcodes import Instruction, Op
+
+Program = tuple[Instruction, ...]
+
+
+class AssemblyError(Exception):
+    """Raised on malformed assembly text."""
+
+
+def assemble(text: str) -> Program:
+    """Assemble *text* into a program.
+
+    Raises:
+        AssemblyError: on unknown mnemonics or malformed operands.
+    """
+    instructions: list[Instruction] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        mnemonic, args = parts[0].lower(), parts[1:]
+        try:
+            op = Op(mnemonic)
+        except ValueError as exc:
+            raise AssemblyError(
+                f"line {line_number}: unknown opcode {mnemonic!r}"
+            ) from exc
+        operand: object = None
+        if op in (Op.CALL, Op.TRANSFER):
+            if len(args) != 2:
+                raise AssemblyError(
+                    f"line {line_number}: {mnemonic} needs address and value"
+                )
+            operand = (args[0], _parse_int(args[1], line_number))
+        elif op in (Op.JUMP, Op.JUMPI):
+            if len(args) != 1:
+                raise AssemblyError(
+                    f"line {line_number}: {mnemonic} needs a target pc"
+                )
+            operand = _parse_int(args[0], line_number)
+        elif op is Op.PUSH:
+            if len(args) != 1:
+                raise AssemblyError(f"line {line_number}: push needs a value")
+            try:
+                operand = _parse_int(args[0], line_number)
+            except AssemblyError:
+                operand = args[0]
+        elif op in (Op.SLOAD, Op.SSTORE, Op.BALANCE):
+            if len(args) != 1:
+                raise AssemblyError(
+                    f"line {line_number}: {mnemonic} needs a key/address"
+                )
+            operand = args[0]
+        else:
+            if args:
+                raise AssemblyError(
+                    f"line {line_number}: {mnemonic} takes no operands"
+                )
+        instructions.append(Instruction(op=op, operand=operand))
+    return tuple(instructions)
+
+
+def _parse_int(token: str, line_number: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblyError(
+            f"line {line_number}: expected integer, got {token!r}"
+        ) from exc
+
+
+@dataclass
+class CodeRegistry:
+    """Maps code_id strings to programs for one simulated chain."""
+
+    _programs: dict[str, Program] = field(default_factory=dict)
+
+    def register(self, code_id: str, program: Program) -> str:
+        """Store *program* under *code_id* (idempotent for equal bodies)."""
+        existing = self._programs.get(code_id)
+        if existing is not None and existing != program:
+            raise ValueError(f"code_id {code_id!r} already bound")
+        self._programs[code_id] = program
+        return code_id
+
+    def register_assembly(self, code_id: str, text: str) -> str:
+        return self.register(code_id, assemble(text))
+
+    def get(self, code_id: str) -> Program | None:
+        return self._programs.get(code_id)
+
+    def __contains__(self, code_id: str) -> bool:
+        return code_id in self._programs
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+
+# -- stock contract bodies used by workload profiles -----------------------
+
+# A plain token-transfer contract: reads and writes two balances.
+TOKEN_TRANSFER_ASM = """
+    sload balance_sender
+    push 1
+    sub
+    sstore balance_sender
+    sload balance_receiver
+    push 1
+    add
+    sstore balance_receiver
+    sload balance_receiver
+    log
+    stop
+"""
+
+# A proxy that forwards to another contract — yields depth-2 internal
+# transactions like the unverified-contract chain of paper Fig. 1b.
+def proxy_asm(target_address: str) -> str:
+    """Assembly for a proxy forwarding one call to *target_address*."""
+    return f"""
+        call {target_address} 0
+        stop
+    """
+
+# A heavy loop used to model expensive (high-gas) transactions, e.g. the
+# 2017 DoS-attack traffic that spiked internal transaction counts.
+def busy_loop_asm(iterations: int) -> str:
+    """Assembly for a counter loop running *iterations* times."""
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    return f"""
+        push {iterations}
+        dup
+        iszero
+        jumpi 8
+        push 1
+        sub
+        jump 1
+        pop
+        stop
+    """

@@ -1,0 +1,93 @@
+"""Instruction set of the miniature contract VM.
+
+The VM exists to generate realistic *execution side effects* — gas
+consumption, storage access sets, and inter-contract calls (internal
+transactions) — not to run real EVM bytecode.  The instruction set is
+therefore a compact stack machine whose operations map one-to-one onto
+the gas schedule categories of :class:`repro.account.gas.GasSchedule`.
+
+Programs are tuples of :class:`Instruction`.  Operands are Python ints
+or strings; the assembler in :mod:`repro.vm.contract` provides a tiny
+text format used by workload-generated contracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+
+
+@unique
+class Op(Enum):
+    """VM opcodes.
+
+    Stack effects (pop/push) are listed per opcode; the VM enforces them.
+    """
+
+    PUSH = "push"        # operand -> push literal
+    POP = "pop"          # pop 1
+    DUP = "dup"          # duplicate top
+    SWAP = "swap"        # swap top two
+    ADD = "add"          # pop 2 push 1
+    SUB = "sub"          # pop 2 push 1
+    MUL = "mul"          # pop 2 push 1
+    DIV = "div"          # pop 2 push 1 (integer; x/0 = 0, EVM-style)
+    LT = "lt"            # pop 2 push 1 (0/1)
+    EQ = "eq"            # pop 2 push 1 (0/1)
+    ISZERO = "iszero"    # pop 1 push 1
+    JUMPI = "jumpi"      # operand = target pc; pop 1 condition
+    JUMP = "jump"        # operand = target pc
+    SLOAD = "sload"      # operand = key; push storage[key]
+    SSTORE = "sstore"    # operand = key; pop 1 value into storage[key]
+    BALANCE = "balance"  # operand = address; push balance
+    CALL = "call"        # operand = (address, value); internal transaction
+    TRANSFER = "transfer"  # operand = (address, value); value-only internal tx
+    LOG = "log"          # pop 1, emit log entry
+    STOP = "stop"        # halt, success
+    REVERT = "revert"    # halt, failure
+
+
+# Opcodes that always carry an operand.
+OPERAND_OPS = frozenset(
+    {Op.PUSH, Op.JUMPI, Op.JUMP, Op.SLOAD, Op.SSTORE,
+     Op.BALANCE, Op.CALL, Op.TRANSFER}
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction: opcode plus optional operand."""
+
+    op: Op
+    operand: object = None
+
+    def __post_init__(self) -> None:
+        if self.op in OPERAND_OPS and self.operand is None:
+            raise ValueError(f"opcode {self.op.value} requires an operand")
+        if self.op not in OPERAND_OPS and self.operand is not None:
+            raise ValueError(f"opcode {self.op.value} takes no operand")
+
+
+def gas_cost(instruction: Instruction, schedule) -> int:
+    """Gas charged for executing *instruction* under *schedule*.
+
+    SSTORE cost is charged at the set rate; the cheaper update rate is
+    applied by the VM when the key already holds a value.
+    """
+    op = instruction.op
+    if op in (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.LT, Op.EQ, Op.ISZERO,
+              Op.PUSH, Op.POP, Op.DUP, Op.SWAP, Op.JUMP, Op.JUMPI):
+        return schedule.arithmetic
+    if op is Op.SLOAD:
+        return schedule.sload
+    if op is Op.SSTORE:
+        return schedule.sstore_set
+    if op is Op.BALANCE:
+        return schedule.balance
+    if op in (Op.CALL, Op.TRANSFER):
+        return schedule.call
+    if op is Op.LOG:
+        return schedule.log
+    if op in (Op.STOP, Op.REVERT):
+        return 0
+    raise ValueError(f"unknown opcode {op!r}")

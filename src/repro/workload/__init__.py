@@ -1,0 +1,67 @@
+"""Calibrated synthetic workloads for the seven blockchains of Table I."""
+
+from repro.workload.account_workload import (
+    AccountWorkloadBuilder,
+    IntentKind,
+    TxIntent,
+    build_account_chain,
+)
+from repro.workload.actors import Actor, ActorKind, ActorPopulation
+from repro.workload.generator import (
+    DEFAULT_NUM_BLOCKS,
+    GeneratedChain,
+    generate_all_chains,
+    generate_chain,
+)
+from repro.workload.profiles import (
+    ACCOUNT_PROFILES,
+    ALL_PROFILES,
+    BITCOIN,
+    BITCOIN_CASH,
+    DOGECOIN,
+    ETHEREUM,
+    ETHEREUM_CLASSIC,
+    LITECOIN,
+    PROFILES_BY_NAME,
+    UTXO_PROFILES,
+    ZILLIQA,
+    ChainProfile,
+    Era,
+    get_profile,
+    interpolate_era,
+)
+from repro.workload.utxo_workload import UTXOWorkloadBuilder, build_utxo_chain
+from repro.workload.zipf import ZipfSampler, truncated_geometric
+
+__all__ = [
+    "AccountWorkloadBuilder",
+    "IntentKind",
+    "TxIntent",
+    "build_account_chain",
+    "Actor",
+    "ActorKind",
+    "ActorPopulation",
+    "DEFAULT_NUM_BLOCKS",
+    "GeneratedChain",
+    "generate_all_chains",
+    "generate_chain",
+    "ACCOUNT_PROFILES",
+    "ALL_PROFILES",
+    "BITCOIN",
+    "BITCOIN_CASH",
+    "DOGECOIN",
+    "ETHEREUM",
+    "ETHEREUM_CLASSIC",
+    "LITECOIN",
+    "PROFILES_BY_NAME",
+    "UTXO_PROFILES",
+    "ZILLIQA",
+    "ChainProfile",
+    "Era",
+    "get_profile",
+    "interpolate_era",
+    "UTXOWorkloadBuilder",
+    "build_utxo_chain",
+    "ZipfSampler",
+    "truncated_geometric",
+]

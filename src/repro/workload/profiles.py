@@ -1,0 +1,393 @@
+"""Calibrated per-chain workload profiles — the seven blockchains of Table I.
+
+Each profile describes one blockchain's traffic as a sequence of *eras*
+(anchor points in calendar time) whose numeric parameters are linearly
+interpolated, giving smooth historical trends like the real datasets.
+The parameter values are calibrated so the synthetic histories land in
+the regimes the paper reports (see DESIGN.md §5 for the targets and
+EXPERIMENTS.md for measured outcomes):
+
+* UTXO chains get their conflicts from intra-block TXO spend chains
+  (exchange sweeps, pool payout cascades — paper Fig. 6);
+* account chains get theirs from fan-in to hot exchange/contract
+  addresses and repeat senders (paper Fig. 1);
+* smaller user bases produce higher conflict rates at equal load, which
+  is the paper's explanation for Ethereum Classic vs. Ethereum and
+  Bitcoin Cash vs. Bitcoin (§IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class Era:
+    """Workload parameters in force from calendar time *year* onward.
+
+    Numeric fields are linearly interpolated between consecutive eras.
+
+    Attributes (UTXO-model knobs):
+        pair_spend_rate: expected number of length-2 intra-block spend
+            pairs per block, as a fraction of block transactions.
+        chain_event_rate: expected number of longer sweep chains per
+            block (absolute count, not a fraction).
+        chain_length_mean: mean length of those sweep chains.
+
+    Attributes (account-model knobs):
+        exchange_deposit_share: fraction of txs that are deposits to an
+            exchange hot wallet.
+        exchange_withdrawal_share: fraction that are exchange payouts.
+        contract_call_share: fraction that are smart-contract calls.
+        contract_creation_share: fraction that deploy new contracts
+            (high gas, essentially never conflicted — §IV-A).
+        internal_burst_prob: per-block probability of an internal-tx
+            burst (the 2017 DoS-attack spikes of Fig. 4a).
+    """
+
+    year: float
+    mean_txs_per_block: float
+    num_users: int
+    # UTXO knobs
+    pair_spend_rate: float = 0.0
+    chain_event_rate: float = 0.0
+    chain_length_mean: float = 6.0
+    # Account knobs
+    exchange_deposit_share: float = 0.0
+    exchange_withdrawal_share: float = 0.0
+    contract_call_share: float = 0.0
+    contract_creation_share: float = 0.0
+    internal_burst_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_txs_per_block < 0:
+            raise ValueError("mean_txs_per_block must be non-negative")
+        if self.num_users < 1:
+            raise ValueError("num_users must be positive")
+        shares = (
+            self.exchange_deposit_share
+            + self.exchange_withdrawal_share
+            + self.contract_call_share
+            + self.contract_creation_share
+        )
+        if shares > 1.0 + 1e-9:
+            raise ValueError("transaction-type shares exceed 1")
+
+
+_INTERPOLATED_FIELDS = [
+    f.name for f in fields(Era) if f.name not in ("year",)
+]
+
+
+def interpolate_era(eras: tuple[Era, ...], year: float) -> Era:
+    """The era parameters in force at *year*, linearly interpolated.
+
+    Before the first anchor the first era applies unchanged; after the
+    last anchor, the last.
+    """
+    if not eras:
+        raise ValueError("at least one era is required")
+    ordered = sorted(eras, key=lambda era: era.year)
+    if year <= ordered[0].year:
+        return ordered[0]
+    if year >= ordered[-1].year:
+        return ordered[-1]
+    for earlier, later in zip(ordered, ordered[1:]):
+        if earlier.year <= year <= later.year:
+            span = later.year - earlier.year
+            t = 0.0 if span == 0 else (year - earlier.year) / span
+            updates: dict[str, object] = {"year": year}
+            for name in _INTERPOLATED_FIELDS:
+                a = getattr(earlier, name)
+                b = getattr(later, name)
+                value = a + (b - a) * t
+                updates[name] = int(round(value)) if isinstance(a, int) else value
+            return replace(earlier, **updates)
+    raise AssertionError("unreachable: year not bracketed")
+
+
+@dataclass(frozen=True)
+class ChainProfile:
+    """Full description of one simulated blockchain (cf. paper Table I)."""
+
+    name: str
+    display_name: str
+    data_model: str            # "utxo" | "account"
+    consensus: str             # "PoW" | "PoW+Sharding"
+    smart_contracts: bool
+    data_source: str           # "BigQuery" | "—" (Table I's last column)
+    start_year: float
+    end_year: float
+    block_interval: float      # target seconds between blocks
+    eras: tuple[Era, ...]
+    num_exchanges: int = 3
+    num_pools: int = 4
+    num_contracts: int = 0
+    user_zipf_exponent: float = 0.8
+    exchange_zipf_exponent: float = 1.2
+    num_shards: int = 0        # >0 enables Zilliqa-style sharding
+    pool_names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.data_model not in ("utxo", "account"):
+            raise ValueError(f"unknown data model {self.data_model!r}")
+        if self.end_year <= self.start_year:
+            raise ValueError("end_year must exceed start_year")
+        if not self.eras:
+            raise ValueError("profile needs at least one era")
+
+    def era_at(self, year: float) -> Era:
+        return interpolate_era(self.eras, year)
+
+    def year_of_timestamp(self, timestamp: float) -> float:
+        """Convert a chain-relative timestamp to a calendar year."""
+        return self.start_year + timestamp / SECONDS_PER_YEAR
+
+    @property
+    def duration_years(self) -> float:
+        return self.end_year - self.start_year
+
+
+# ---------------------------------------------------------------------------
+# The seven calibrated profiles.
+# ---------------------------------------------------------------------------
+
+BITCOIN = ChainProfile(
+    name="bitcoin",
+    display_name="Bitcoin",
+    data_model="utxo",
+    consensus="PoW",
+    smart_contracts=False,
+    data_source="BigQuery",
+    start_year=2009.0,
+    end_year=2019.8,
+    block_interval=600.0,
+    pool_names=("AntPool", "F2Pool", "BTC.com", "SlushPool"),
+    eras=(
+        Era(year=2009.0, mean_txs_per_block=2, num_users=300,
+            pair_spend_rate=0.01, chain_event_rate=0.0),
+        Era(year=2012.0, mean_txs_per_block=120, num_users=20_000,
+            pair_spend_rate=0.09, chain_event_rate=0.5,
+            chain_length_mean=5.0),
+        Era(year=2015.0, mean_txs_per_block=700, num_users=120_000,
+            pair_spend_rate=0.11, chain_event_rate=1.5,
+            chain_length_mean=7.0),
+        Era(year=2017.5, mean_txs_per_block=2100, num_users=400_000,
+            pair_spend_rate=0.12, chain_event_rate=2.5,
+            chain_length_mean=9.0),
+        Era(year=2019.5, mean_txs_per_block=2300, num_users=500_000,
+            pair_spend_rate=0.11, chain_event_rate=2.5,
+            chain_length_mean=9.0),
+    ),
+    num_exchanges=5,
+    num_pools=4,
+)
+
+BITCOIN_CASH = ChainProfile(
+    name="bitcoin_cash",
+    display_name="Bitcoin Cash",
+    data_model="utxo",
+    consensus="PoW",
+    smart_contracts=False,
+    data_source="BigQuery",
+    # Shares Bitcoin's chain until the July 2017 fork; we simulate the
+    # post-fork segment, whose traffic the paper contrasts with Bitcoin.
+    start_year=2017.55,
+    end_year=2019.8,
+    block_interval=600.0,
+    pool_names=("BTC.TOP", "ViaBTC", "AntPool"),
+    eras=(
+        # Fewer users than Bitcoin; exchanges generate a larger share of
+        # the (smaller) traffic, hence higher conflict rates (§IV-C).
+        Era(year=2017.55, mean_txs_per_block=180, num_users=12_000,
+            pair_spend_rate=0.10, chain_event_rate=1.0,
+            chain_length_mean=9.0),
+        Era(year=2018.5, mean_txs_per_block=120, num_users=9_000,
+            pair_spend_rate=0.12, chain_event_rate=1.2,
+            chain_length_mean=10.0),
+        Era(year=2019.5, mean_txs_per_block=220, num_users=10_000,
+            pair_spend_rate=0.12, chain_event_rate=1.4,
+            chain_length_mean=10.0),
+    ),
+    num_exchanges=3,
+    num_pools=3,
+)
+
+LITECOIN = ChainProfile(
+    name="litecoin",
+    display_name="Litecoin",
+    data_model="utxo",
+    consensus="PoW",
+    smart_contracts=False,
+    data_source="BigQuery",
+    start_year=2011.8,
+    end_year=2019.8,
+    block_interval=150.0,
+    pool_names=("LitecoinPool", "F2Pool", "ViaBTC"),
+    eras=(
+        Era(year=2011.8, mean_txs_per_block=2, num_users=2_000,
+            pair_spend_rate=0.01),
+        Era(year=2015.0, mean_txs_per_block=8, num_users=15_000,
+            pair_spend_rate=0.05, chain_event_rate=0.08,
+            chain_length_mean=4.0),
+        Era(year=2017.5, mean_txs_per_block=45, num_users=60_000,
+            pair_spend_rate=0.07, chain_event_rate=0.2,
+            chain_length_mean=5.0),
+        Era(year=2019.5, mean_txs_per_block=30, num_users=50_000,
+            pair_spend_rate=0.07, chain_event_rate=0.15,
+            chain_length_mean=5.0),
+    ),
+    num_exchanges=3,
+    num_pools=3,
+)
+
+DOGECOIN = ChainProfile(
+    name="dogecoin",
+    display_name="Dogecoin",
+    data_model="utxo",
+    consensus="PoW",
+    smart_contracts=False,
+    data_source="BigQuery",
+    start_year=2013.95,
+    end_year=2019.8,
+    block_interval=60.0,
+    pool_names=("Aikapool", "Prohashing"),
+    eras=(
+        Era(year=2013.95, mean_txs_per_block=25, num_users=8_000,
+            pair_spend_rate=0.06, chain_event_rate=0.12,
+            chain_length_mean=4.0),
+        Era(year=2016.0, mean_txs_per_block=8, num_users=6_000,
+            pair_spend_rate=0.07, chain_event_rate=0.12,
+            chain_length_mean=4.0),
+        Era(year=2019.5, mean_txs_per_block=15, num_users=9_000,
+            pair_spend_rate=0.07, chain_event_rate=0.15,
+            chain_length_mean=5.0),
+    ),
+    num_exchanges=2,
+    num_pools=2,
+)
+
+ETHEREUM = ChainProfile(
+    name="ethereum",
+    display_name="Ethereum",
+    data_model="account",
+    consensus="PoW",
+    smart_contracts=True,
+    data_source="BigQuery",
+    start_year=2015.6,
+    end_year=2019.8,
+    block_interval=14.0,
+    pool_names=("Ethermine", "SparkPool", "DwarfPool", "F2Pool"),
+    eras=(
+        # Early era: small user base, exchange traffic dominates, high
+        # conflict (tx-weighted single rate ~0.8).
+        Era(year=2015.6, mean_txs_per_block=12, num_users=400,
+            exchange_deposit_share=0.55, exchange_withdrawal_share=0.24,
+            contract_call_share=0.08, contract_creation_share=0.030),
+        Era(year=2016.5, mean_txs_per_block=45, num_users=1_800,
+            exchange_deposit_share=0.48, exchange_withdrawal_share=0.22,
+            contract_call_share=0.13, contract_creation_share=0.028),
+        # 2017: ICO boom plus the underpriced-opcode DoS bursts.
+        Era(year=2017.5, mean_txs_per_block=130, num_users=40_000,
+            exchange_deposit_share=0.28, exchange_withdrawal_share=0.12,
+            contract_call_share=0.24, contract_creation_share=0.022,
+            internal_burst_prob=0.08),
+        Era(year=2018.5, mean_txs_per_block=110, num_users=120_000,
+            exchange_deposit_share=0.23, exchange_withdrawal_share=0.10,
+            contract_call_share=0.28, contract_creation_share=0.018),
+        Era(year=2019.5, mean_txs_per_block=120, num_users=260_000,
+            exchange_deposit_share=0.17, exchange_withdrawal_share=0.07,
+            contract_call_share=0.30, contract_creation_share=0.018),
+    ),
+    num_exchanges=5,
+    num_pools=4,
+    num_contracts=400,
+    user_zipf_exponent=0.95,
+    exchange_zipf_exponent=2.5,
+)
+
+ETHEREUM_CLASSIC = ChainProfile(
+    name="ethereum_classic",
+    display_name="Ethereum Classic",
+    data_model="account",
+    consensus="PoW",
+    smart_contracts=True,
+    data_source="BigQuery",
+    start_year=2016.55,
+    end_year=2019.8,
+    block_interval=14.0,
+    pool_names=("EtherMine-ETC", "2Miners"),
+    eras=(
+        # An order of magnitude fewer transactions *and* users than
+        # Ethereum; the small user base concentrates traffic on the few
+        # exchange addresses, driving the group conflict rate to ~0.7.
+        Era(year=2016.55, mean_txs_per_block=12, num_users=900,
+            exchange_deposit_share=0.45, exchange_withdrawal_share=0.22,
+            contract_call_share=0.06, contract_creation_share=0.01),
+        Era(year=2018.0, mean_txs_per_block=10, num_users=700,
+            exchange_deposit_share=0.48, exchange_withdrawal_share=0.24,
+            contract_call_share=0.05, contract_creation_share=0.01),
+        Era(year=2019.5, mean_txs_per_block=9, num_users=650,
+            exchange_deposit_share=0.50, exchange_withdrawal_share=0.24,
+            contract_call_share=0.05, contract_creation_share=0.01),
+    ),
+    num_exchanges=2,
+    num_pools=2,
+    num_contracts=40,
+    exchange_zipf_exponent=3.0,
+)
+
+ZILLIQA = ChainProfile(
+    name="zilliqa",
+    display_name="Zilliqa",
+    data_model="account",
+    consensus="PoW+Sharding",
+    smart_contracts=True,
+    data_source="—",  # not on BigQuery; collected via the SDK client
+    start_year=2019.08,
+    end_year=2019.8,
+    block_interval=45.0,
+    pool_names=("ZilPool",),
+    eras=(
+        # Young chain, small user base, heavily exchange-driven traffic:
+        # the paper attributes Zilliqa's high conflict rates to workload
+        # characteristics, not to sharding (§IV-A).
+        Era(year=2019.08, mean_txs_per_block=8, num_users=400,
+            exchange_deposit_share=0.52, exchange_withdrawal_share=0.26,
+            contract_call_share=0.04, contract_creation_share=0.01),
+        Era(year=2019.5, mean_txs_per_block=6, num_users=500,
+            exchange_deposit_share=0.50, exchange_withdrawal_share=0.26,
+            contract_call_share=0.05, contract_creation_share=0.01),
+    ),
+    num_exchanges=2,
+    num_pools=1,
+    num_contracts=10,
+    exchange_zipf_exponent=2.5,
+    num_shards=4,
+)
+
+ALL_PROFILES: tuple[ChainProfile, ...] = (
+    BITCOIN,
+    BITCOIN_CASH,
+    LITECOIN,
+    DOGECOIN,
+    ETHEREUM,
+    ETHEREUM_CLASSIC,
+    ZILLIQA,
+)
+
+PROFILES_BY_NAME = {profile.name: profile for profile in ALL_PROFILES}
+
+UTXO_PROFILES = tuple(p for p in ALL_PROFILES if p.data_model == "utxo")
+ACCOUNT_PROFILES = tuple(p for p in ALL_PROFILES if p.data_model == "account")
+
+
+def get_profile(name: str) -> ChainProfile:
+    """Look up a profile by its short name (e.g. "ethereum")."""
+    try:
+        return PROFILES_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES_BY_NAME))
+        raise KeyError(f"unknown chain {name!r}; known: {known}") from None

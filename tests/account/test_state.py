@@ -1,0 +1,172 @@
+"""Tests for the account-model world state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.account.state import WorldState
+from repro.account.transaction import (
+    NULL_ADDRESS,
+    make_account_transaction,
+    make_coinbase_transaction,
+)
+from repro.chain.errors import (
+    InsufficientBalanceError,
+    NonceError,
+    ValidationError,
+)
+
+ETHER = 10**18
+
+
+def _funded_state(*addresses: str) -> WorldState:
+    state = WorldState()
+    for address in addresses:
+        state.credit(address, 100 * ETHER)
+    return state
+
+
+def _transfer(state, sender, receiver, value, **kwargs):
+    tx = make_account_transaction(
+        sender=sender,
+        receiver=receiver,
+        value=value,
+        nonce=state.nonce_of(sender),
+        **kwargs,
+    )
+    return state.apply_transaction(tx)
+
+
+class TestBasicTransfers:
+    def test_value_moves_and_fee_is_charged(self):
+        state = _funded_state("0xa")
+        result = _transfer(state, "0xa", "0xb", ETHER)
+        assert state.balance_of("0xb") == ETHER
+        fee = result.gas_used * result.tx.gas_price
+        assert state.balance_of("0xa") == 100 * ETHER - ETHER - fee
+        assert result.receipt.success
+
+    def test_nonce_increments(self):
+        state = _funded_state("0xa")
+        _transfer(state, "0xa", "0xb", 1)
+        _transfer(state, "0xa", "0xb", 1)
+        assert state.nonce_of("0xa") == 2
+
+    def test_wrong_nonce_rejected(self):
+        state = _funded_state("0xa")
+        tx = make_account_transaction(
+            sender="0xa", receiver="0xb", value=1, nonce=5
+        )
+        with pytest.raises(NonceError):
+            state.apply_transaction(tx)
+
+    def test_insufficient_balance_rejected(self):
+        state = _funded_state("0xa")
+        tx = make_account_transaction(
+            sender="0xa", receiver="0xb", value=200 * ETHER, nonce=0
+        )
+        with pytest.raises(InsufficientBalanceError):
+            state.apply_transaction(tx)
+
+    def test_failed_tx_leaves_state_unchanged(self):
+        state = _funded_state("0xa")
+        before_balance = state.balance_of("0xa")
+        before_nonce = state.nonce_of("0xa")
+        tx = make_account_transaction(
+            sender="0xa", receiver="0xb", value=1, nonce=9
+        )
+        with pytest.raises(NonceError):
+            state.apply_transaction(tx)
+        assert state.balance_of("0xa") == before_balance
+        assert state.nonce_of("0xa") == before_nonce
+
+    def test_gas_limit_below_intrinsic_rejected(self):
+        state = _funded_state("0xa")
+        tx = make_account_transaction(
+            sender="0xa",
+            receiver="0xb",
+            value=1,
+            nonce=0,
+            gas_limit=100,
+        )
+        with pytest.raises(ValidationError):
+            state.apply_transaction(tx)
+
+
+class TestCoinbase:
+    def test_coinbase_mints(self):
+        state = WorldState()
+        cb = make_coinbase_transaction(miner="0xm", reward=2 * ETHER, height=3)
+        result = state.apply_transaction(cb)
+        assert state.balance_of("0xm") == 2 * ETHER
+        assert result.gas_used == 0
+        assert result.is_coinbase
+
+
+class TestContractCreation:
+    def test_creation_deploys_at_fresh_address(self):
+        state = _funded_state("0xa")
+        tx = make_account_transaction(
+            sender="0xa",
+            receiver=NULL_ADDRESS,
+            value=0,
+            nonce=0,
+            gas_limit=2_000_000,
+            data="code",
+        )
+        result = state.apply_transaction(tx)
+        created = result.receipt.created_contract
+        assert created
+        assert state.account(created).is_contract
+        assert tx.is_contract_creation
+
+    def test_two_creations_get_distinct_addresses(self):
+        state = _funded_state("0xa")
+        results = []
+        for _ in range(2):
+            tx = make_account_transaction(
+                sender="0xa",
+                receiver=NULL_ADDRESS,
+                value=0,
+                nonce=state.nonce_of("0xa"),
+                gas_limit=2_000_000,
+                data="code",
+            )
+            results.append(state.apply_transaction(tx))
+        a, b = (r.receipt.created_contract for r in results)
+        assert a != b
+
+    def test_creation_gas_exceeds_transfer_gas(self):
+        state = _funded_state("0xa")
+        creation = make_account_transaction(
+            sender="0xa",
+            receiver=NULL_ADDRESS,
+            value=0,
+            nonce=0,
+            gas_limit=2_000_000,
+            data="c" * 1000,
+        )
+        created = state.apply_transaction(creation)
+        transfer = _transfer(state, "0xa", "0xb", 1)
+        assert created.gas_used > transfer.gas_used
+
+
+class TestSupplyAccounting:
+    def test_fees_burn_supply(self):
+        state = _funded_state("0xa")
+        before = state.total_supply()
+        result = _transfer(state, "0xa", "0xb", ETHER)
+        after = state.total_supply()
+        assert before - after == result.gas_used * result.tx.gas_price
+
+    def test_apply_block_runs_in_order(self):
+        state = _funded_state("0xa")
+        txs = [
+            make_account_transaction(
+                sender="0xa", receiver="0xb", value=1, nonce=n
+            )
+            for n in range(3)
+        ]
+        executed = state.apply_block(txs)
+        assert len(executed) == 3
+        assert state.nonce_of("0xa") == 3

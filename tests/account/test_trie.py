@@ -1,0 +1,166 @@
+"""Tests for the authenticated state trie."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.account.state import WorldState
+from repro.account.trie import EMPTY_ROOT, StateTrie, state_root
+
+keys = st.text(
+    alphabet="abcdefghij0123456789:", min_size=1, max_size=20
+)
+values = st.text(min_size=0, max_size=10)
+
+
+class TestBasicOperations:
+    def test_get_put_roundtrip(self):
+        trie = StateTrie()
+        trie.put("balance:0xa", "100")
+        assert trie.get("balance:0xa") == "100"
+        assert trie.get("balance:0xb") is None
+        assert len(trie) == 1
+
+    def test_update_overwrites(self):
+        trie = StateTrie()
+        trie.put("k", "1")
+        trie.put("k", "2")
+        assert trie.get("k") == "2"
+        assert len(trie) == 1
+
+    def test_delete(self):
+        trie = StateTrie()
+        trie.put("k", "1")
+        assert trie.delete("k")
+        assert trie.get("k") is None
+        assert len(trie) == 0
+        assert not trie.delete("k")
+
+    def test_empty_root_constant(self):
+        assert StateTrie().root == EMPTY_ROOT
+
+    def test_delete_restores_previous_root(self):
+        trie = StateTrie()
+        trie.put("a", "1")
+        root_one = trie.root
+        trie.put("b", "2")
+        trie.delete("b")
+        assert trie.root == root_one
+
+
+class TestAuthenticationProperties:
+    def test_root_is_order_independent(self):
+        a = StateTrie()
+        b = StateTrie()
+        entries = [("k1", "v1"), ("k2", "v2"), ("k3", "v3")]
+        for key, value in entries:
+            a.put(key, value)
+        for key, value in reversed(entries):
+            b.put(key, value)
+        assert a.root == b.root
+
+    def test_root_changes_with_any_value(self):
+        trie = StateTrie()
+        trie.put("k1", "v1")
+        trie.put("k2", "v2")
+        baseline = trie.root
+        trie.put("k2", "tampered")
+        assert trie.root != baseline
+
+    def test_root_changes_with_extra_key(self):
+        trie = StateTrie()
+        trie.put("k1", "v1")
+        baseline = trie.root
+        trie.put("k2", "v2")
+        assert trie.root != baseline
+
+    @given(st.dictionaries(keys, values, min_size=0, max_size=30))
+    @settings(max_examples=50)
+    def test_root_is_content_function(self, contents):
+        """Property: equal contents => equal root, any insertion order."""
+        import random as _random
+
+        items = list(contents.items())
+        a = StateTrie()
+        for key, value in items:
+            a.put(key, value)
+        shuffled = list(items)
+        _random.Random(1).shuffle(shuffled)
+        b = StateTrie()
+        for key, value in shuffled:
+            b.put(key, value)
+        assert a.root == b.root
+        assert len(a) == len(contents)
+
+
+class TestProofs:
+    def test_proof_verifies(self):
+        trie = StateTrie()
+        for index in range(20):
+            trie.put(f"key{index}", f"value{index}")
+        proof = trie.prove("key7")
+        assert proof.value == "value7"
+        assert StateTrie.verify_proof(proof, trie.root)
+
+    def test_proof_fails_on_wrong_root(self):
+        trie = StateTrie()
+        trie.put("a", "1")
+        trie.put("b", "2")
+        proof = trie.prove("a")
+        other = StateTrie()
+        other.put("a", "1")
+        other.put("b", "DIFFERENT")
+        assert not StateTrie.verify_proof(proof, other.root)
+
+    def test_tampered_value_fails(self):
+        from dataclasses import replace
+
+        trie = StateTrie()
+        trie.put("a", "1")
+        trie.put("b", "2")
+        proof = replace(trie.prove("a"), value="999")
+        assert not StateTrie.verify_proof(proof, trie.root)
+
+    def test_missing_key_raises(self):
+        trie = StateTrie()
+        trie.put("a", "1")
+        with pytest.raises(KeyError):
+            trie.prove("missing")
+
+    @given(st.dictionaries(keys, values, min_size=1, max_size=15))
+    @settings(max_examples=30)
+    def test_all_proofs_verify(self, contents):
+        trie = StateTrie()
+        for key, value in contents.items():
+            trie.put(key, value)
+        root = trie.root
+        for key in contents:
+            assert StateTrie.verify_proof(trie.prove(key), root)
+
+
+class TestStateRoot:
+    def test_state_root_deterministic(self):
+        def build():
+            state = WorldState()
+            state.credit("0xa", 100)
+            state.credit("0xb", 50)
+            state.account("0xc").code_id = "token"
+            state.account("0xc").storage["k"] = "v"
+            return state
+
+        assert state_root(build()) == state_root(build())
+
+    def test_state_root_tracks_changes(self):
+        state = WorldState()
+        state.credit("0xa", 100)
+        before = state_root(state)
+        state.credit("0xa", 1)
+        assert state_root(state) != before
+
+    def test_state_root_on_executed_chain(self, small_ethereum_builder):
+        """The synthetic chain's final state has a stable commitment."""
+        root = state_root(small_ethereum_builder.state)
+        assert len(root) == 64
+        assert root != EMPTY_ROOT

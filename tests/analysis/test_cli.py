@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_chain_rejected_at_parse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "--chain", "solana"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Bitcoin" in out and "Zilliqa" in out
+
+    def test_examples(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "40.0%" in out
+        assert "87.5%" in out
+        assert "18" in out
+
+    def test_analyze_small_chain(self, capsys):
+        code = main(
+            ["analyze", "--chain", "dogecoin", "--blocks", "10",
+             "--buckets", "4", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dogecoin: single-transaction conflict rate" in out
+        assert "tx_weighted" in out
+
+    def test_speedup_command(self, capsys):
+        code = main(
+            ["speedup", "--chain", "zilliqa", "--blocks", "10",
+             "--cores", "8", "--buckets", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Eq. 1" in out and "Eq. 2" in out
+
+    def test_speedup_bad_cores(self, capsys):
+        assert main(
+            ["speedup", "--chain", "zilliqa", "--cores", "eight"]
+        ) == 2
+        assert main(
+            ["speedup", "--chain", "zilliqa", "--cores", "0"]
+        ) == 2
+
+    def test_compare(self, capsys):
+        code = main(
+            ["compare", "--left", "dogecoin", "--right", "litecoin",
+             "--blocks", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dogecoin" in out and "litecoin" in out
+
+    def test_compare_unknown_chain(self):
+        assert main(
+            ["compare", "--left", "dogecoin", "--right", "nope"]
+        ) == 2
+
+    def test_export(self, tmp_path, capsys):
+        code = main(
+            ["export", "--chain", "dogecoin", "--blocks", "6",
+             "--out", str(tmp_path)]
+        )
+        assert code == 0
+        written = list(tmp_path.glob("*.csv"))
+        assert (tmp_path / "blocks.csv").exists()
+        assert len(written) >= 2
+
+    def test_report(self, tmp_path, capsys):
+        code = main(
+            ["report", "--out", str(tmp_path), "--blocks", "12",
+             "--scale", "0.3", "--buckets", "4"]
+        )
+        assert code == 0
+        names = {path.name for path in tmp_path.glob("*.txt")}
+        assert {
+            "table1.txt", "fig4_ethereum.txt", "fig5_bitcoin.txt",
+            "fig7_all_chains.txt", "fig8_eth_vs_etc.txt",
+            "fig9_btc_vs_bch.txt", "fig10_speedups.txt",
+        } <= names

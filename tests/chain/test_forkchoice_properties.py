@@ -1,0 +1,90 @@
+"""Property-based tests for fork choice over random block trees."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import GENESIS_PARENT, build_block
+from repro.chain.forkchoice import ForkChoice
+from repro.chain.transaction import TransactionStub
+
+
+def _block(height, parent, difficulty, tag):
+    return build_block(
+        [TransactionStub(tx_hash=f"tx-{height}-{tag}")],
+        height=height,
+        parent_hash=parent,
+        timestamp=float(height),
+        difficulty=difficulty,
+    )
+
+
+# Each step: (parent_choice, difficulty_index) — parent chosen among
+# already-added blocks, difficulty from a small palette.
+tree_scripts = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([0.5, 1.0, 2.0, 3.5]),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(script=tree_scripts)
+def test_head_is_always_the_heaviest_tip(script):
+    fc = ForkChoice()
+    genesis = _block(0, GENESIS_PARENT, 1.0, "g")
+    fc.receive(genesis)
+    blocks = [genesis]
+    for index, (parent_choice, difficulty) in enumerate(script):
+        parent = blocks[parent_choice % len(blocks)]
+        block = _block(
+            parent.height + 1, parent.block_hash, difficulty, f"b{index}"
+        )
+        fc.receive(block)
+        blocks.append(block)
+
+    # Invariant 1: the head has maximal cumulative work.
+    head_work = fc.tree.work(fc.head)
+    for block in blocks:
+        assert fc.tree.work(block.block_hash) <= head_work + 1e-9
+
+    # Invariant 2: the active chain is a valid hash chain from genesis.
+    chain = fc.active_chain()
+    assert chain[0].block_hash == genesis.block_hash
+    for parent, child in zip(chain, chain[1:]):
+        assert child.header.parent_hash == parent.block_hash
+        assert child.height == parent.height + 1
+
+    # Invariant 3: the chain ends at the head.
+    assert chain[-1].block_hash == fc.head
+
+
+@settings(max_examples=100, deadline=None)
+@given(script=tree_scripts)
+def test_reorgs_exactly_bridge_old_and_new_heads(script):
+    """rolled_back undoes the old suffix, applied builds the new one."""
+    fc = ForkChoice()
+    genesis = _block(0, GENESIS_PARENT, 1.0, "g")
+    fc.receive(genesis)
+    blocks = [genesis]
+    active: list[str] = [genesis.block_hash]
+    for index, (parent_choice, difficulty) in enumerate(script):
+        parent = blocks[parent_choice % len(blocks)]
+        block = _block(
+            parent.height + 1, parent.block_hash, difficulty, f"b{index}"
+        )
+        reorg = fc.receive(block)
+        blocks.append(block)
+        if reorg is not None:
+            # Apply the reorg to our shadow copy of the active chain.
+            for rolled in reorg.rolled_back:
+                assert active[-1] == rolled.block_hash
+                active.pop()
+            for applied in reorg.applied:
+                active.append(applied.block_hash)
+        # The shadow chain always matches the fork choice's view.
+        assert active == [b.block_hash for b in fc.active_chain()]

@@ -1,0 +1,80 @@
+"""Tests for deterministic hashing helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain.hashing import (
+    address_from_seed,
+    hash_concat,
+    hash_fields,
+    sha256_hex,
+    short_hash,
+)
+
+
+class TestSha256Hex:
+    def test_known_vector(self):
+        assert sha256_hex(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_length_and_charset(self):
+        digest = sha256_hex(b"blockchain")
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+
+class TestHashFields:
+    def test_deterministic(self):
+        assert hash_fields("a", 1, (2, 3)) == hash_fields("a", 1, (2, 3))
+
+    def test_field_order_matters(self):
+        assert hash_fields("a", "b") != hash_fields("b", "a")
+
+    def test_no_concatenation_ambiguity(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert hash_fields("ab", "c") != hash_fields("a", "bc")
+
+    def test_type_sensitivity(self):
+        assert hash_fields(1) != hash_fields("1")
+
+    @given(st.lists(st.text(), min_size=1, max_size=5))
+    def test_always_64_hex_chars(self, fields):
+        digest = hash_fields(*fields)
+        assert len(digest) == 64
+
+
+class TestShortHash:
+    def test_prefix(self):
+        assert short_hash("abcdef0123", 4) == "abcd"
+
+    def test_default_length(self):
+        assert len(short_hash("f" * 64)) == 4
+
+    def test_rejects_non_positive_length(self):
+        with pytest.raises(ValueError):
+            short_hash("abcd", 0)
+
+
+class TestAddressFromSeed:
+    def test_shape(self):
+        address = address_from_seed("user1")
+        assert address.startswith("0x")
+        assert len(address) == 42
+
+    def test_distinct_seeds_distinct_addresses(self):
+        assert address_from_seed("a") != address_from_seed("b")
+
+    def test_custom_prefix(self):
+        assert address_from_seed("a", prefix="zil").startswith("zil")
+
+
+class TestHashConcat:
+    def test_order_sensitivity(self):
+        assert hash_concat(("aa", "bb")) != hash_concat(("bb", "aa"))
+
+    def test_matches_manual_concat(self):
+        assert hash_concat(("ab", "cd")) == sha256_hex(b"abcd")

@@ -1,0 +1,82 @@
+"""Tests for the Merkle tree and inclusion proofs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain.hashing import sha256_hex
+from repro.chain.merkle import MerkleTree, merkle_root
+
+leaf = st.text(alphabet="0123456789abcdef", min_size=8, max_size=8)
+
+
+def _leaves(n: int) -> list[str]:
+    return [sha256_hex(str(i).encode()) for i in range(n)]
+
+
+class TestMerkleTree:
+    def test_single_leaf_root_is_leaf(self):
+        leaves = _leaves(1)
+        assert MerkleTree(leaves).root == leaves[0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MerkleTree([])
+
+    def test_root_changes_with_any_leaf(self):
+        leaves = _leaves(5)
+        baseline = merkle_root(leaves)
+        for index in range(5):
+            mutated = list(leaves)
+            mutated[index] = sha256_hex(b"tampered")
+            assert merkle_root(mutated) != baseline
+
+    def test_root_changes_with_leaf_order(self):
+        leaves = _leaves(4)
+        swapped = [leaves[1], leaves[0], *leaves[2:]]
+        assert merkle_root(leaves) != merkle_root(swapped)
+
+    def test_odd_level_duplication_matches_bitcoin_rule(self):
+        # With 3 leaves the last is duplicated: root equals the root of
+        # the 4-leaf tree [a, b, c, c].
+        a, b, c = _leaves(3)
+        assert merkle_root([a, b, c]) == merkle_root([a, b, c, c])
+
+    @given(st.integers(min_value=1, max_value=33))
+    def test_len_matches_leaf_count(self, n):
+        assert len(MerkleTree(_leaves(n))) == n
+
+
+class TestMerkleProofs:
+    @given(st.integers(min_value=1, max_value=20))
+    def test_every_proof_verifies(self, n):
+        tree = MerkleTree(_leaves(n))
+        for index in range(n):
+            proof = tree.proof(index)
+            assert MerkleTree.verify(proof, tree.root)
+
+    def test_proof_fails_against_wrong_root(self):
+        tree = MerkleTree(_leaves(8))
+        proof = tree.proof(3)
+        other = MerkleTree(_leaves(9))
+        assert not MerkleTree.verify(proof, other.root)
+
+    def test_tampered_leaf_fails(self):
+        from dataclasses import replace
+
+        tree = MerkleTree(_leaves(8))
+        proof = replace(tree.proof(2), leaf=sha256_hex(b"evil"))
+        assert not MerkleTree.verify(proof, tree.root)
+
+    def test_out_of_range_index(self):
+        tree = MerkleTree(_leaves(4))
+        with pytest.raises(IndexError):
+            tree.proof(4)
+
+    def test_mismatched_path_direction_lengths_rejected(self):
+        from repro.chain.merkle import MerkleProof
+
+        with pytest.raises(ValueError):
+            MerkleProof(leaf="aa", path=("bb",), directions=())

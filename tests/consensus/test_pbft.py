@@ -1,0 +1,86 @@
+"""Tests for the PBFT committee model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.consensus.pbft import PBFTCommittee, consensus_vs_execution_share
+
+
+def _committee(size=7, faulty=0, seed=1):
+    return PBFTCommittee(
+        size=size, faulty=faulty, rng=random.Random(seed)
+    )
+
+
+class TestQuorums:
+    def test_quorum_formula(self):
+        assert _committee(size=4).quorum == 3    # f=1 -> 2f+1
+        assert _committee(size=7).quorum == 5    # f=2
+        assert _committee(size=10).quorum == 7   # f=3
+
+    def test_tolerates(self):
+        assert _committee(size=4).tolerates == 1
+        assert _committee(size=100).tolerates == 33
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            _committee(size=3)
+
+    def test_faulty_bounds(self):
+        with pytest.raises(ValueError):
+            PBFTCommittee(size=4, faulty=4)
+
+
+class TestRounds:
+    def test_fault_free_round_commits(self):
+        result = _committee().run_round()
+        assert result.committed
+        assert result.view_changes == 0
+        assert result.latency > 0
+
+    def test_round_with_tolerable_faults_commits(self):
+        result = _committee(size=7, faulty=2).run_round()
+        assert result.committed
+
+    def test_faulty_primary_forces_view_changes(self):
+        result = _committee(size=7, faulty=2, seed=3).run_round()
+        assert result.view_changes == 2
+
+    def test_too_many_faults_blocks_quorum(self):
+        result = _committee(size=7, faulty=3).run_round()
+        assert not result.committed
+
+    def test_message_complexity_is_quadratic(self):
+        small = _committee(size=4).expected_messages_per_round()
+        large = _committee(size=40).expected_messages_per_round()
+        # n(n-1) scaling: 100x nodes => ~100x^2 messages.
+        assert large > small * 50
+
+    def test_expected_messages_formula(self):
+        committee = _committee(size=4)
+        assert committee.expected_messages_per_round() == 3 + 2 * 4 * 3
+
+
+class TestExecutionShare:
+    def test_small_committee_is_execution_dominated(self):
+        """Paper §II-C: at 7 nodes, execution (250ms) >> consensus (20ms)."""
+        share = consensus_vs_execution_share(
+            committee_size=7, execution_time=0.25
+        )
+        assert share > 0.5
+
+    def test_share_shrinks_with_committee_size(self):
+        small = consensus_vs_execution_share(
+            committee_size=7,
+            execution_time=0.25,
+            rng=random.Random(0),
+        )
+        big = consensus_vs_execution_share(
+            committee_size=100,
+            execution_time=0.25,
+            rng=random.Random(0),
+        )
+        assert big < small

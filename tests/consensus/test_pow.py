@@ -1,0 +1,82 @@
+"""Tests for the PoW simulator."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.consensus.pow import Miner, PoWSimulator, make_pool_set
+
+
+def _simulator(target=600.0, window=50, growth=0.0, seed=1, shares=None):
+    shares = shares or [("a", 0.5), ("b", 0.5)]
+    return PoWSimulator(
+        miners=make_pool_set(shares),
+        target_interval=target,
+        retarget_window=window,
+        hashrate_growth=growth,
+        rng=random.Random(seed),
+    )
+
+
+class TestValidation:
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PoWSimulator(
+                miners=make_pool_set([("a", 0.2), ("b", 0.2)]),
+                target_interval=600.0,
+            )
+
+    def test_miner_share_bounds(self):
+        with pytest.raises(ValueError):
+            Miner(name="x", address="0x1", hashrate_share=0.0)
+
+    def test_needs_positive_target(self):
+        with pytest.raises(ValueError):
+            _simulator(target=0.0)
+
+
+class TestTiming:
+    def test_timestamps_strictly_increase(self):
+        sim = _simulator()
+        slots = sim.mine_chain_timing(200)
+        times = [slot.timestamp for slot in slots]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_interval_tracks_target(self):
+        sim = _simulator(target=600.0, window=25, seed=3)
+        slots = sim.mine_chain_timing(2000)
+        intervals = [slot.interval for slot in slots[500:]]
+        mean = statistics.mean(intervals)
+        assert 400 < mean < 900  # exponential jitter, retarget-corrected
+
+    def test_difficulty_rises_with_hashrate_growth(self):
+        sim = _simulator(growth=0.01, window=20)
+        slots = sim.mine_chain_timing(400)
+        assert slots[-1].difficulty > slots[0].difficulty * 2
+
+    def test_heights_are_consecutive(self):
+        sim = _simulator()
+        slots = sim.mine_chain_timing(10)
+        assert [slot.height for slot in slots] == list(range(10))
+
+    def test_deterministic_under_seed(self):
+        a = _simulator(seed=9).mine_chain_timing(50)
+        b = _simulator(seed=9).mine_chain_timing(50)
+        assert [s.timestamp for s in a] == [s.timestamp for s in b]
+        assert [s.miner.name for s in a] == [s.miner.name for s in b]
+
+
+class TestMinerSelection:
+    def test_shares_respected_statistically(self):
+        sim = _simulator(shares=[("big", 0.8), ("small", 0.2)], seed=5)
+        slots = sim.mine_chain_timing(2000)
+        big_wins = sum(1 for slot in slots if slot.miner.name == "big")
+        assert 0.74 < big_wins / 2000 < 0.86
+
+    def test_pool_addresses_deterministic(self):
+        pools_a = make_pool_set([("x", 1.0)])
+        pools_b = make_pool_set([("x", 1.0)])
+        assert pools_a[0].address == pools_b[0].address

@@ -1,0 +1,119 @@
+"""Tests for weighted fixed-bucket aggregation (§IV's figure machinery)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import BucketedSeries, bucketize
+
+
+def _items(values, weights=None, positions=None):
+    weights = weights or [1.0] * len(values)
+    positions = positions or list(range(len(values)))
+    return list(zip(values, weights, positions))
+
+
+def _bucketize(items, num_buckets):
+    return bucketize(
+        items,
+        num_buckets=num_buckets,
+        value=lambda item: item[0],
+        weight=lambda item: item[1],
+        position=lambda item: item[2],
+    )
+
+
+class TestBucketize:
+    def test_single_bucket_is_weighted_mean(self):
+        items = _items([1.0, 3.0], weights=[1.0, 3.0])
+        series = _bucketize(items, 1)
+        assert len(series) == 1
+        assert series.values[0] == pytest.approx((1 + 9) / 4)
+
+    def test_bucket_count_clamped_to_items(self):
+        series = _bucketize(_items([1.0, 2.0]), 10)
+        assert len(series) == 2
+
+    def test_buckets_partition_in_order(self):
+        items = _items(list(range(10)))
+        series = _bucketize(items, 5)
+        assert series.counts == (2, 2, 2, 2, 2)
+        # First bucket averages items 0,1; last averages 8,9.
+        assert series.values[0] == pytest.approx(0.5)
+        assert series.values[-1] == pytest.approx(8.5)
+
+    def test_positions_are_bucket_means(self):
+        items = _items([0.0] * 4, positions=[10, 20, 30, 40])
+        series = _bucketize(items, 2)
+        assert series.positions == (15.0, 35.0)
+
+    def test_zero_weight_bucket_falls_back_to_plain_mean(self):
+        items = _items([2.0, 4.0], weights=[0.0, 0.0])
+        series = _bucketize(items, 1)
+        assert series.values[0] == pytest.approx(3.0)
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            _bucketize([], 3)
+
+    def test_non_positive_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            _bucketize(_items([1.0]), 0)
+
+    def test_heavier_blocks_dominate_their_bucket(self):
+        """The paper's rationale: big blocks matter more (§IV)."""
+        items = _items([0.0, 1.0], weights=[1.0, 99.0])
+        series = _bucketize(items, 1)
+        assert series.values[0] == pytest.approx(0.99)
+
+
+class TestBucketedSeries:
+    def test_field_length_validation(self):
+        with pytest.raises(ValueError):
+            BucketedSeries(
+                positions=(1.0,), values=(1.0, 2.0), weights=(1.0,),
+                counts=(1,),
+            )
+
+    def test_overall_mean(self):
+        series = BucketedSeries(
+            positions=(0.0, 1.0),
+            values=(1.0, 3.0),
+            weights=(1.0, 3.0),
+            counts=(1, 1),
+        )
+        assert series.overall_mean == pytest.approx(2.5)
+
+    def test_tail_mean(self):
+        series = BucketedSeries(
+            positions=(0.0, 1.0, 2.0),
+            values=(9.0, 1.0, 2.0),
+            weights=(1.0, 1.0, 1.0),
+            counts=(1, 1, 1),
+        )
+        assert series.tail_mean(2) == pytest.approx(1.5)
+
+    def test_tail_mean_validation(self):
+        series = BucketedSeries(
+            positions=(0.0,), values=(1.0,), weights=(1.0,), counts=(1,)
+        )
+        with pytest.raises(ValueError):
+            series.tail_mean(0)
+
+
+@settings(max_examples=200)
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=60
+    ),
+    num_buckets=st.integers(min_value=1, max_value=20),
+)
+def test_bucket_means_stay_within_value_range(values, num_buckets):
+    """Weighted means can never escape the input range."""
+    items = _items(values)
+    series = _bucketize(items, num_buckets)
+    assert sum(series.counts) == len(values)
+    for value in series.values:
+        assert min(values) - 1e-9 <= value <= max(values) + 1e-9

@@ -1,0 +1,99 @@
+"""Tests for the simulated Zilliqa SDK client (§III-B's collection path)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.queries import query_account_conflicts
+from repro.datasets.zilliqa_client import (
+    RPCError,
+    SimulatedZilliqaNode,
+    ZilliqaCollector,
+)
+
+
+@pytest.fixture(scope="module")
+def node(small_zilliqa_builder):
+    return SimulatedZilliqaNode(
+        executed_blocks=small_zilliqa_builder.executed_blocks,
+        requests_per_second=4.0,
+    )
+
+
+# module-scoped fixture needs the session builder re-exported
+@pytest.fixture(scope="module")
+def small_zilliqa_builder():
+    from repro.workload.account_workload import build_account_chain
+    from repro.workload.profiles import ZILLIQA
+
+    return build_account_chain(ZILLIQA, num_blocks=12, seed=7, scale=1.0)
+
+
+class TestRPC:
+    def test_get_num_tx_blocks(self, node):
+        assert node.get_num_tx_blocks() == 12
+
+    def test_block_hash_listing(self, node, small_zilliqa_builder):
+        hashes = node.get_transactions_for_tx_block(3)
+        block, _ = small_zilliqa_builder.executed_blocks[3]
+        assert hashes == [tx.tx_hash for tx in block.transactions]
+
+    def test_block_out_of_range(self, node):
+        with pytest.raises(RPCError):
+            node.get_transactions_for_tx_block(99)
+
+    def test_get_transaction_detail(self, node, small_zilliqa_builder):
+        block, executed = small_zilliqa_builder.executed_blocks[0]
+        detail = node.get_transaction(executed[0].tx_hash)
+        assert detail["blockNumber"] == 0
+        assert detail["senderAddress"] == executed[0].tx.sender
+
+    def test_unknown_transaction(self, node):
+        with pytest.raises(RPCError):
+            node.get_transaction("missing")
+
+    def test_rate_limit_advances_clock(self, small_zilliqa_builder):
+        node = SimulatedZilliqaNode(
+            executed_blocks=small_zilliqa_builder.executed_blocks,
+            requests_per_second=4.0,
+        )
+        node.get_num_tx_blocks()
+        node.get_num_tx_blocks()
+        assert node.clock.now == pytest.approx(0.5)
+
+
+class TestCollector:
+    def test_two_phase_collection(self, small_zilliqa_builder):
+        node = SimulatedZilliqaNode(
+            executed_blocks=small_zilliqa_builder.executed_blocks
+        )
+        collector = ZilliqaCollector(node=node)
+        store = collector.collect()
+        total_txs = sum(
+            len(block.transactions)
+            for block, _ in small_zilliqa_builder.executed_blocks
+        )
+        assert store.count("account_transactions") == total_txs
+        assert store.count("blocks") == 12
+        # 1 (count) + 12 (listings) + one per transaction.
+        assert node.request_count == 1 + 12 + total_txs
+        assert collector.estimated_duration() == pytest.approx(
+            node.request_count / 4.0
+        )
+
+    def test_collected_store_is_queryable(self, small_zilliqa_builder):
+        node = SimulatedZilliqaNode(
+            executed_blocks=small_zilliqa_builder.executed_blocks
+        )
+        store = ZilliqaCollector(node=node).collect()
+        rows = query_account_conflicts(store)
+        assert rows, "collected dataset should yield per-block metrics"
+        for row in rows:
+            assert 0.0 <= row.single_conflict_rate <= 1.0
+
+    def test_requests_per_second_validation(self, small_zilliqa_builder):
+        with pytest.raises(ValueError):
+            SimulatedZilliqaNode(
+                executed_blocks=small_zilliqa_builder.executed_blocks,
+                requests_per_second=0.0,
+            )

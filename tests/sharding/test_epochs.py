@@ -1,0 +1,116 @@
+"""Tests for sharded epoch timing and the shard-scaling plateau."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.account.transaction import make_account_transaction
+from repro.chain.hashing import address_from_seed
+from repro.sharding.epochs import EpochCosts, epoch_time, shard_sweep
+from repro.sharding.zilliqa import ShardedChainBuilder
+
+
+def _block(num_txs, num_shards=4):
+    builder = ShardedChainBuilder(num_shards=num_shards)
+    txs = [
+        make_account_transaction(
+            sender=address_from_seed(f"s{i}"),
+            receiver=address_from_seed(f"r{i}"),
+            value=1,
+            nonce=0,
+        )
+        for i in range(num_txs)
+    ]
+    return builder.build_tx_block(txs)
+
+
+class TestEpochCosts:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EpochCosts(execution_time_per_tx=-1)
+        with pytest.raises(ValueError):
+            EpochCosts(shard_committee_size=2)
+        with pytest.raises(ValueError):
+            EpochCosts(execution_speedup=0)
+
+
+class TestEpochTime:
+    def test_components_positive(self):
+        timing = epoch_time(
+            _block(100), EpochCosts(), rng=random.Random(1)
+        )
+        assert timing.consensus > 0
+        assert timing.execution > 0
+        assert timing.sync > 0
+        assert timing.total == pytest.approx(
+            timing.consensus + timing.execution + timing.sync
+        )
+
+    def test_execution_speedup_shrinks_execution_only(self):
+        slow = epoch_time(
+            _block(200), EpochCosts(execution_speedup=1.0),
+            rng=random.Random(2),
+        )
+        fast = epoch_time(
+            _block(200), EpochCosts(execution_speedup=6.0),
+            rng=random.Random(2),
+        )
+        assert fast.execution == pytest.approx(slow.execution / 6.0)
+        assert fast.sync == pytest.approx(slow.sync)
+
+    def test_empty_block(self):
+        timing = epoch_time(_block(0), EpochCosts(), rng=random.Random(3))
+        assert timing.execution == 0.0
+        assert timing.sync == 0.0
+
+    def test_execution_share(self):
+        timing = epoch_time(_block(500), EpochCosts(), rng=random.Random(4))
+        assert 0.0 < timing.execution_share() < 1.0
+
+
+class TestShardSweep:
+    def test_throughput_saturates(self):
+        """More shards divide execution but not sync: a plateau (§II-B)."""
+        results = shard_sweep(
+            total_txs=20_000,
+            shard_counts=[1, 2, 4, 8, 16, 64],
+            costs=EpochCosts(),
+        )
+        throughputs = [tp for _shards, _time, tp in results]
+        # Throughput grows early...
+        assert throughputs[1] > throughputs[0]
+        assert throughputs[2] > throughputs[1]
+        # ...but with diminishing returns: the last doubling gains far
+        # less than the first one.
+        first_gain = throughputs[1] / throughputs[0]
+        last_gain = throughputs[-1] / throughputs[-2]
+        assert last_gain < first_gain
+        # And the plateau is bounded by the sync term.
+        costs = EpochCosts()
+        sync_bound = 1.0 / costs.sync_time_per_tx
+        assert throughputs[-1] < sync_bound
+
+    def test_execution_speedup_lifts_the_curve(self):
+        base = shard_sweep(
+            total_txs=20_000,
+            shard_counts=[4],
+            costs=EpochCosts(execution_speedup=1.0),
+        )
+        sped = shard_sweep(
+            total_txs=20_000,
+            shard_counts=[4],
+            costs=EpochCosts(execution_speedup=6.0),
+        )
+        assert sped[0][2] > base[0][2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shard_sweep(
+                total_txs=-1, shard_counts=[1], costs=EpochCosts()
+            )
+        with pytest.raises(ValueError):
+            shard_sweep(
+                total_txs=10, shard_counts=[0], costs=EpochCosts()
+            )

@@ -1,0 +1,133 @@
+"""Executable summary: the paper's headline claims, certified by pytest.
+
+Each test states one claim from the paper and verifies it on small
+deterministic instances, so ``pytest tests/`` alone demonstrates the
+reproduction without running the bench harness.  The full-scale
+versions (with series output) live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.examples import (
+    figure_1a_block,
+    figure_1b_block,
+    figure_6_chain,
+)
+from repro.core.speedup import (
+    group_speedup_bound,
+    speculative_speedup_exact,
+)
+from repro.workload.generator import generate_all_chains
+
+
+@pytest.fixture(scope="module")
+def survey():
+    """A compact seven-chain survey shared by the claims below."""
+    return generate_all_chains(num_blocks=50, seed=77, scale=0.3)
+
+
+def _rate(chains, name, metric, min_txs=2):
+    records = [
+        r
+        for r in chains[name].history.non_empty_records()
+        if r.num_transactions >= min_txs
+    ]
+    weight = sum(r.weight_tx for r in records)
+    return sum(
+        getattr(r.metrics, metric) * r.weight_tx for r in records
+    ) / weight
+
+
+class TestHeadlineClaim1:
+    """'There is more concurrency in UTXO-based blockchains than in
+    account-based ones.'"""
+
+    def test_single_rates_ordered_by_model(self, survey):
+        utxo = ("bitcoin", "bitcoin_cash", "litecoin", "dogecoin")
+        account = ("ethereum", "ethereum_classic", "zilliqa")
+        worst_utxo = max(
+            _rate(survey, name, "single_conflict_rate") for name in utxo
+        )
+        best_account = min(
+            _rate(survey, name, "single_conflict_rate") for name in account
+        )
+        assert worst_utxo < best_account
+
+    def test_bitcoin_vs_ethereum_factors(self, survey):
+        """'in Bitcoin ... around 13% whereas in Ethereum ... close to
+        80%' (late-history: ~15% vs ~60%)."""
+        bitcoin = _rate(survey, "bitcoin", "single_conflict_rate", min_txs=20)
+        ethereum = _rate(survey, "ethereum", "single_conflict_rate",
+                         min_txs=5)
+        assert bitcoin < 0.35
+        assert ethereum > 0.45
+        assert ethereum > 3 * bitcoin
+
+
+class TestHeadlineClaim2:
+    """'The group conflict rate is lower than the single-transaction
+    conflict rate ... the difference is considerable.'"""
+
+    def test_ethereum_gap(self, survey):
+        single = _rate(survey, "ethereum", "single_conflict_rate", min_txs=5)
+        group = _rate(survey, "ethereum", "group_conflict_rate", min_txs=5)
+        assert group < single
+        assert single - group > 0.15
+
+
+class TestHeadlineClaim3:
+    """'Blockchains with more transactions per block often have a lower
+    group conflict rate.'"""
+
+    def test_ethereum_vs_classic(self, survey):
+        eth = survey["ethereum"].history
+        etc = survey["ethereum_classic"].history
+        assert (
+            eth.mean_transactions_per_block()
+            > 3 * etc.mean_transactions_per_block()
+        )
+        assert _rate(survey, "ethereum", "group_conflict_rate", 5) < _rate(
+            survey, "ethereum_classic", "group_conflict_rate", 2
+        )
+
+    def test_bitcoin_vs_bitcoin_cash(self, survey):
+        btc = survey["bitcoin"].history
+        bch = survey["bitcoin_cash"].history
+        assert (
+            btc.mean_transactions_per_block()
+            > 2 * bch.mean_transactions_per_block()
+        )
+        assert _rate(
+            survey, "bitcoin_cash", "single_conflict_rate", 5
+        ) > _rate(survey, "bitcoin", "single_conflict_rate", 20)
+
+
+class TestHeadlineClaim4:
+    """'The model estimates up to 6x speed-ups in Ethereum using 8
+    cores' — and the worked examples behind it."""
+
+    def test_group_speedup_regime(self, survey):
+        group = _rate(survey, "ethereum", "group_conflict_rate", min_txs=5)
+        speedup = group_speedup_bound(8, group)
+        assert 2.0 < speedup <= 8.0
+
+    def test_worked_examples_exact(self):
+        a = figure_1a_block()
+        assert a.metrics.single_conflict_rate == pytest.approx(0.4)
+        assert speculative_speedup_exact(5, 8, 0.4) == pytest.approx(5 / 3)
+
+        b = figure_1b_block()
+        assert b.single_conflict_rate_with_coinbase == pytest.approx(0.875)
+        assert speculative_speedup_exact(16, 16, 0.875) == pytest.approx(
+            16 / 15
+        )
+
+        transactions, tdg = figure_6_chain()
+        assert len(transactions) == 18 and tdg.lcc_size == 18
+
+    def test_speculation_can_lose(self):
+        """'the speedup becomes smaller than 1, which means that
+        performance becomes worse.'"""
+        assert speculative_speedup_exact(16, 4, 0.875) < 1.0

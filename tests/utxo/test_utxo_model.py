@@ -1,0 +1,220 @@
+"""Tests for TXOs, UTXO transactions, and the UTXO set."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain.errors import DoubleSpendError, ValueConservationError
+from repro.utxo.transaction import (
+    TxOutputSpec,
+    make_coinbase,
+    make_transaction,
+)
+from repro.utxo.txo import COIN, OutPoint, TXO
+from repro.utxo.utxo_set import UTXOSet
+
+
+def _coinbase(value=50 * COIN, miner="miner", height=0):
+    return make_coinbase(reward=value, miner=miner, height=height)
+
+
+class TestOutPoint:
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            OutPoint(tx_hash="ab", index=-1)
+
+    def test_rejects_empty_hash(self):
+        with pytest.raises(ValueError):
+            OutPoint(tx_hash="", index=0)
+
+    def test_str_format(self):
+        assert str(OutPoint(tx_hash="ab", index=2)) == "ab:2"
+
+
+class TestTXO:
+    def test_rejects_negative_value(self):
+        with pytest.raises(ValueError):
+            TXO(
+                outpoint=OutPoint(tx_hash="a", index=0),
+                value=-1,
+                owner="x",
+            )
+
+    def test_value_in_coins(self):
+        txo = TXO(
+            outpoint=OutPoint(tx_hash="a", index=0),
+            value=COIN // 2,
+            owner="x",
+        )
+        assert txo.value_in_coins() == pytest.approx(0.5)
+
+
+class TestMakeTransaction:
+    def test_outpoints_are_contiguous_and_self_referential(self):
+        tx = make_transaction(
+            inputs=(),
+            outputs=[
+                TxOutputSpec(value=10, owner="a"),
+                TxOutputSpec(value=20, owner="b"),
+            ],
+        )
+        assert [o.outpoint.index for o in tx.outputs] == [0, 1]
+        assert all(o.outpoint.tx_hash == tx.tx_hash for o in tx.outputs)
+
+    def test_coinbase_detection(self):
+        assert _coinbase().is_coinbase
+        cb = _coinbase()
+        spend = make_transaction(
+            inputs=[cb.outputs[0].outpoint],
+            outputs=[TxOutputSpec(value=cb.outputs[0].value, owner="z")],
+        )
+        assert not spend.is_coinbase
+
+    def test_nonce_differentiates_identical_transactions(self):
+        a = make_transaction(
+            inputs=(), outputs=[TxOutputSpec(value=1, owner="a")], nonce=1
+        )
+        b = make_transaction(
+            inputs=(), outputs=[TxOutputSpec(value=1, owner="a")], nonce=2
+        )
+        assert a.tx_hash != b.tx_hash
+
+    def test_rejects_empty_outputs(self):
+        with pytest.raises(ValueError):
+            make_transaction(inputs=(), outputs=[])
+
+
+class TestUTXOSet:
+    def _funded_set(self):
+        cb = _coinbase()
+        utxos = UTXOSet()
+        utxos.apply_transaction(cb)
+        return utxos, cb
+
+    def test_apply_coinbase_adds_output(self):
+        utxos, cb = self._funded_set()
+        assert cb.outputs[0].outpoint in utxos
+        assert utxos.total_value() == 50 * COIN
+
+    def test_spend_moves_value(self):
+        utxos, cb = self._funded_set()
+        spend = make_transaction(
+            inputs=[cb.outputs[0].outpoint],
+            outputs=[
+                TxOutputSpec(value=30 * COIN, owner="alice"),
+                TxOutputSpec(value=20 * COIN, owner="miner"),
+            ],
+        )
+        utxos.apply_transaction(spend)
+        assert cb.outputs[0].outpoint not in utxos
+        assert utxos.balance_of("alice") == 30 * COIN
+        assert utxos.total_value() == 50 * COIN
+
+    def test_double_spend_rejected(self):
+        utxos, cb = self._funded_set()
+        spend = make_transaction(
+            inputs=[cb.outputs[0].outpoint],
+            outputs=[TxOutputSpec(value=50 * COIN, owner="alice")],
+        )
+        utxos.apply_transaction(spend)
+        replay = make_transaction(
+            inputs=[cb.outputs[0].outpoint],
+            outputs=[TxOutputSpec(value=50 * COIN, owner="bob")],
+            nonce="replay",
+        )
+        with pytest.raises(DoubleSpendError):
+            utxos.apply_transaction(replay)
+
+    def test_same_outpoint_twice_in_one_tx_rejected(self):
+        utxos, cb = self._funded_set()
+        bad = make_transaction(
+            inputs=[cb.outputs[0].outpoint, cb.outputs[0].outpoint],
+            outputs=[TxOutputSpec(value=100 * COIN, owner="alice")],
+        )
+        with pytest.raises(DoubleSpendError):
+            utxos.apply_transaction(bad)
+
+    def test_value_conservation_enforced(self):
+        utxos, cb = self._funded_set()
+        inflate = make_transaction(
+            inputs=[cb.outputs[0].outpoint],
+            outputs=[TxOutputSpec(value=51 * COIN, owner="alice")],
+        )
+        with pytest.raises(ValueConservationError):
+            utxos.apply_transaction(inflate)
+
+    def test_fee_accounted_in_conservation(self):
+        utxos, cb = self._funded_set()
+        with_fee = make_transaction(
+            inputs=[cb.outputs[0].outpoint],
+            outputs=[TxOutputSpec(value=49 * COIN, owner="alice")],
+            fee=COIN,
+        )
+        utxos.apply_transaction(with_fee)
+        assert utxos.total_value() == 49 * COIN
+
+    def test_intra_block_chain_applies(self):
+        utxos, cb = self._funded_set()
+        tx1 = make_transaction(
+            inputs=[cb.outputs[0].outpoint],
+            outputs=[TxOutputSpec(value=50 * COIN, owner="a")],
+        )
+        tx2 = make_transaction(
+            inputs=[tx1.outputs[0].outpoint],
+            outputs=[TxOutputSpec(value=50 * COIN, owner="b")],
+        )
+        undo = utxos.apply_block([tx1, tx2])
+        assert utxos.balance_of("b") == 50 * COIN
+        utxos.revert_block(undo)
+        assert utxos.balance_of("b") == 0
+        assert cb.outputs[0].outpoint in utxos
+
+    def test_apply_block_is_atomic_on_failure(self):
+        utxos, cb = self._funded_set()
+        tx1 = make_transaction(
+            inputs=[cb.outputs[0].outpoint],
+            outputs=[TxOutputSpec(value=50 * COIN, owner="a")],
+        )
+        bad = make_transaction(
+            inputs=[OutPoint(tx_hash="missing", index=0)],
+            outputs=[TxOutputSpec(value=1, owner="b")],
+        )
+        before = utxos.total_value()
+        with pytest.raises(DoubleSpendError):
+            utxos.apply_block([tx1, bad])
+        assert utxos.total_value() == before
+        assert cb.outputs[0].outpoint in utxos
+
+    def test_snapshot_is_independent(self):
+        utxos, cb = self._funded_set()
+        snap = utxos.snapshot()
+        spend = make_transaction(
+            inputs=[cb.outputs[0].outpoint],
+            outputs=[TxOutputSpec(value=50 * COIN, owner="a")],
+        )
+        utxos.apply_transaction(spend)
+        assert cb.outputs[0].outpoint in snap
+        assert cb.outputs[0].outpoint not in utxos
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=10**6), min_size=1, max_size=8
+        )
+    )
+    def test_total_value_conserved_under_fanout(self, splits):
+        """Property: fee-less fan-outs never change total value."""
+        total = sum(splits)
+        cb = make_coinbase(reward=total, miner="m", height=0)
+        utxos = UTXOSet()
+        utxos.apply_transaction(cb)
+        fanout = make_transaction(
+            inputs=[cb.outputs[0].outpoint],
+            outputs=[
+                TxOutputSpec(value=value, owner=f"user{i}")
+                for i, value in enumerate(splits)
+            ],
+        )
+        utxos.apply_transaction(fanout)
+        assert utxos.total_value() == total

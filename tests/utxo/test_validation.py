@@ -1,0 +1,126 @@
+"""Tests for block-level UTXO chain policy validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.errors import ValidationError
+from repro.utxo.script import p2pkh_script
+from repro.utxo.transaction import TxOutputSpec, make_coinbase, make_transaction
+from repro.utxo.txo import COIN
+from repro.utxo.utxo_set import UTXOSet
+from repro.utxo.validation import (
+    BITCOIN_CASH_POLICY,
+    BITCOIN_POLICY,
+    ChainPolicy,
+    validate_block_transactions,
+)
+
+
+def _setup():
+    utxos = UTXOSet()
+    cb0 = make_coinbase(reward=50 * COIN, miner="m", height=0)
+    utxos.apply_transaction(cb0)
+    return utxos, cb0
+
+
+class TestPolicyObjects:
+    def test_bitcoin_cash_has_bigger_blocks(self):
+        assert (
+            BITCOIN_CASH_POLICY.max_block_bytes
+            > BITCOIN_POLICY.max_block_bytes
+        )
+
+    def test_rejects_non_positive_limits(self):
+        with pytest.raises(ValueError):
+            ChainPolicy(name="x", max_block_bytes=0)
+        with pytest.raises(ValueError):
+            ChainPolicy(name="x", block_interval_seconds=0)
+
+
+class TestBlockValidation:
+    def test_valid_block_passes_and_leaves_set_unchanged(self):
+        utxos, cb0 = _setup()
+        cb1 = make_coinbase(reward=50 * COIN, miner="m", height=1)
+        spend = make_transaction(
+            inputs=[cb0.outputs[0].outpoint],
+            outputs=[TxOutputSpec(value=50 * COIN, owner="a")],
+        )
+        before = len(utxos)
+        validate_block_transactions([cb1, spend], utxos, BITCOIN_POLICY)
+        assert len(utxos) == before
+
+    def test_first_tx_must_be_coinbase(self):
+        utxos, cb0 = _setup()
+        spend = make_transaction(
+            inputs=[cb0.outputs[0].outpoint],
+            outputs=[TxOutputSpec(value=50 * COIN, owner="a")],
+        )
+        with pytest.raises(ValidationError):
+            validate_block_transactions([spend], utxos, BITCOIN_POLICY)
+
+    def test_misplaced_coinbase_rejected(self):
+        utxos, _ = _setup()
+        cb1 = make_coinbase(reward=50 * COIN, miner="m", height=1)
+        cb2 = make_coinbase(reward=50 * COIN, miner="m", height=2)
+        with pytest.raises(ValidationError):
+            validate_block_transactions([cb1, cb2], utxos, BITCOIN_POLICY)
+
+    def test_empty_block_rejected(self):
+        utxos, _ = _setup()
+        with pytest.raises(ValidationError):
+            validate_block_transactions([], utxos, BITCOIN_POLICY)
+
+    def test_oversized_block_rejected(self):
+        utxos, _ = _setup()
+        cb = make_coinbase(reward=50 * COIN, miner="m", height=1)
+        tiny_policy = ChainPolicy(name="tiny", max_block_bytes=100)
+        with pytest.raises(ValidationError):
+            validate_block_transactions([cb], utxos, tiny_policy)
+
+    def test_intra_block_spend_validates(self):
+        utxos, cb0 = _setup()
+        cb1 = make_coinbase(reward=50 * COIN, miner="m", height=1)
+        tx1 = make_transaction(
+            inputs=[cb0.outputs[0].outpoint],
+            outputs=[TxOutputSpec(value=50 * COIN, owner="a")],
+        )
+        tx2 = make_transaction(
+            inputs=[tx1.outputs[0].outpoint],
+            outputs=[TxOutputSpec(value=50 * COIN, owner="b")],
+        )
+        validate_block_transactions([cb1, tx1, tx2], utxos, BITCOIN_POLICY)
+
+    def test_script_enforcement(self):
+        utxos = UTXOSet()
+        cb = make_coinbase(reward=COIN, miner="m", height=0)
+        utxos.apply_transaction(cb)
+        locked = make_transaction(
+            inputs=[cb.outputs[0].outpoint],
+            outputs=[
+                TxOutputSpec(
+                    value=COIN, owner="alice", script=p2pkh_script("alice")
+                )
+            ],
+        )
+        utxos.apply_transaction(locked)
+        policy = ChainPolicy(name="scripted", require_scripts=True)
+        cb1 = make_coinbase(reward=COIN, miner="m", height=1)
+        steal = make_transaction(
+            inputs=[locked.outputs[0].outpoint],
+            outputs=[TxOutputSpec(value=COIN, owner="mallory")],
+        )
+        with pytest.raises(ValidationError):
+            validate_block_transactions(
+                [cb1, steal],
+                utxos,
+                policy,
+                spenders={steal.tx_hash: "mallory"},
+            )
+        # The rightful owner spends fine.
+        validate_block_transactions(
+            [cb1, steal],
+            utxos,
+            policy,
+            spenders={steal.tx_hash: "alice"},
+        )

@@ -1,0 +1,246 @@
+"""Tests for the contract VM: assembler, interpreter, gas, tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.account.state import WorldState
+from repro.account.transaction import make_account_transaction
+from repro.vm.contract import (
+    AssemblyError,
+    CodeRegistry,
+    TOKEN_TRANSFER_ASM,
+    assemble,
+    busy_loop_asm,
+    proxy_asm,
+)
+from repro.vm.opcodes import Instruction, Op, gas_cost
+from repro.vm.vm import VM
+
+ETHER = 10**18
+
+
+def _environment():
+    state = WorldState()
+    registry = CodeRegistry()
+    vm = VM(registry)
+    state.credit("0xuser", 100 * ETHER)
+    return state, registry, vm
+
+
+def _call(state, vm, contract_address, gas_limit=500_000):
+    tx = make_account_transaction(
+        sender="0xuser",
+        receiver=contract_address,
+        value=0,
+        nonce=state.nonce_of("0xuser"),
+        gas_limit=gas_limit,
+    )
+    return state.apply_transaction(tx, executor=vm.execute_transaction)
+
+
+def _deploy(state, registry, code_id, asm):
+    registry.register_assembly(code_id, asm)
+    address = f"0xcontract_{code_id}"
+    state.account(address).code_id = code_id
+    return address
+
+
+class TestAssembler:
+    def test_assembles_token_contract(self):
+        program = assemble(TOKEN_TRANSFER_ASM)
+        assert program[0].op is Op.SLOAD
+        assert program[-1].op is Op.STOP
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble("push 1 ; comment\n\n; whole line\nstop")
+        assert len(program) == 2
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate")
+
+    def test_call_needs_two_args(self):
+        with pytest.raises(AssemblyError):
+            assemble("call 0xabc")
+
+    def test_push_string_operand(self):
+        program = assemble("push hello")
+        assert program[0].operand == "hello"
+
+    def test_jump_operand_must_be_int(self):
+        with pytest.raises(AssemblyError):
+            assemble("jump abc")
+
+    def test_operand_validation_in_instruction(self):
+        with pytest.raises(ValueError):
+            Instruction(op=Op.PUSH)  # missing operand
+        with pytest.raises(ValueError):
+            Instruction(op=Op.STOP, operand=1)  # spurious operand
+
+
+class TestInterpreter:
+    def test_token_transfer_writes_storage(self):
+        state, registry, vm = _environment()
+        address = _deploy(state, registry, "token", TOKEN_TRANSFER_ASM)
+        result = _call(state, vm, address)
+        assert result.receipt.success
+        assert state.account(address).storage["balance_receiver"] == "1"
+        assert (address, "balance_sender") in result.receipt.storage_writes
+        assert (address, "balance_sender") in result.receipt.storage_reads
+
+    def test_call_generates_internal_transactions(self):
+        state, registry, vm = _environment()
+        db = _deploy(state, registry, "db", "push 1\nsstore hits\nstop")
+        proxy = _deploy(state, registry, "proxy", proxy_asm(db))
+        result = _call(state, vm, proxy)
+        assert result.receipt.success
+        assert result.receipt.trace_count == 1
+        internal = result.receipt.internal_transactions[0]
+        assert internal.sender == proxy
+        assert internal.receiver == db
+        assert internal.depth == 2
+
+    def test_nested_calls_have_increasing_depth(self):
+        state, registry, vm = _environment()
+        leaf = _deploy(state, registry, "leaf", "stop")
+        mid = _deploy(state, registry, "mid", f"call {leaf} 0\nstop")
+        top = _deploy(state, registry, "top", f"call {mid} 0\nstop")
+        result = _call(state, vm, top)
+        depths = [i.depth for i in result.receipt.internal_transactions]
+        assert depths == [2, 3]
+
+    def test_transfer_moves_value_and_traces(self):
+        state, registry, vm = _environment()
+        sink = "0xsink"
+        contract = _deploy(
+            state, registry, "payer", f"transfer {sink} 5\nstop"
+        )
+        state.credit(contract, 100)
+        result = _call(state, vm, contract)
+        assert result.receipt.success
+        assert state.balance_of(sink) == 5
+        assert result.receipt.internal_transactions[0].call_type == "transfer"
+
+    def test_revert_reports_failure(self):
+        state, registry, vm = _environment()
+        contract = _deploy(state, registry, "rev", "revert")
+        result = _call(state, vm, contract)
+        assert not result.receipt.success
+
+    def test_failed_call_refunds_value_but_keeps_fee(self):
+        state, registry, vm = _environment()
+        contract = _deploy(state, registry, "rev2", "revert")
+        before = state.balance_of("0xuser")
+        tx = make_account_transaction(
+            sender="0xuser",
+            receiver=contract,
+            value=ETHER,
+            nonce=state.nonce_of("0xuser"),
+            gas_limit=100_000,
+        )
+        result = state.apply_transaction(tx, executor=vm.execute_transaction)
+        assert not result.receipt.success
+        assert state.balance_of(contract) == 0
+        fee = result.gas_used * tx.gas_price
+        assert state.balance_of("0xuser") == before - fee
+
+    def test_out_of_gas_fails_and_consumes_budget(self):
+        state, registry, vm = _environment()
+        contract = _deploy(state, registry, "loop", busy_loop_asm(10_000))
+        result = _call(state, vm, contract, gas_limit=25_000)
+        assert not result.receipt.success
+        assert result.gas_used == 25_000  # everything burned
+
+    def test_busy_loop_completes_with_enough_gas(self):
+        state, registry, vm = _environment()
+        contract = _deploy(state, registry, "loop2", busy_loop_asm(5))
+        result = _call(state, vm, contract)
+        assert result.receipt.success
+
+    def test_arithmetic_and_branches(self):
+        state, registry, vm = _environment()
+        # Compute (3 + 4) * 2 and store it.
+        asm = """
+            push 3
+            push 4
+            add
+            push 2
+            mul
+            sstore result
+            stop
+        """
+        contract = _deploy(state, registry, "math", asm)
+        result = _call(state, vm, contract)
+        assert result.receipt.success
+        assert state.account(contract).storage["result"] == "14"
+
+    def test_division_by_zero_yields_zero(self):
+        state, registry, vm = _environment()
+        asm = "push 5\npush 0\ndiv\nsstore q\nstop"
+        contract = _deploy(state, registry, "divz", asm)
+        _call(state, vm, contract)
+        assert state.account(contract).storage["q"] == "0"
+
+    def test_sstore_update_cheaper_than_set(self):
+        state, registry, vm = _environment()
+        contract = _deploy(state, registry, "st", "push 1\nsstore k\nstop")
+        first = _call(state, vm, contract)
+        second = _call(state, vm, contract)
+        assert second.gas_used < first.gas_used
+
+    def test_balance_opcode_reads_state(self):
+        state, registry, vm = _environment()
+        state.credit("0xrich", 1234)
+        asm = "balance 0xrich\nsstore snapshot\nstop"
+        contract = _deploy(state, registry, "bal", asm)
+        result = _call(state, vm, contract)
+        assert state.account(contract).storage["snapshot"] == "1234"
+        assert ("0xrich", "__balance__") in result.receipt.storage_reads
+
+    def test_call_depth_limit(self):
+        state, registry, vm = _environment()
+        # Self-calling contract recurses past MAX_CALL_DEPTH.
+        address = "0xcontract_recurse"
+        registry.register_assembly(
+            "recurse", f"call {address} 0\nstop"
+        )
+        state.account(address).code_id = "recurse"
+        from repro.chain.errors import VMError
+
+        with pytest.raises(VMError):
+            _call(state, vm, address, gas_limit=10_000_000)
+
+    def test_gas_cost_table_covers_all_ops(self):
+        from repro.account.gas import DEFAULT_GAS_SCHEDULE
+
+        for op in Op:
+            operand: object = None
+            if op in (Op.CALL, Op.TRANSFER):
+                operand = ("0xa", 0)
+            elif op in (Op.JUMP, Op.JUMPI):
+                operand = 0
+            elif op in (Op.PUSH, Op.SLOAD, Op.SSTORE, Op.BALANCE):
+                operand = "k"
+            instruction = Instruction(op=op, operand=operand)
+            assert gas_cost(instruction, DEFAULT_GAS_SCHEDULE) >= 0
+
+
+class TestCodeRegistry:
+    def test_rebinding_same_body_is_idempotent(self):
+        registry = CodeRegistry()
+        registry.register_assembly("a", "stop")
+        registry.register_assembly("a", "stop")
+        assert len(registry) == 1
+
+    def test_rebinding_different_body_rejected(self):
+        registry = CodeRegistry()
+        registry.register_assembly("a", "stop")
+        with pytest.raises(ValueError):
+            registry.register_assembly("a", "revert")
+
+    def test_contains_and_get(self):
+        registry = CodeRegistry()
+        registry.register_assembly("a", "stop")
+        assert "a" in registry
+        assert registry.get("missing") is None

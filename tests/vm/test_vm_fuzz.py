@@ -1,0 +1,143 @@
+"""Property-based fuzzing of the VM interpreter.
+
+The interpreter must be *total* over arbitrary programs: any syntactic
+program either runs to completion or fails with a typed error
+(VMError / OutOfGasError surfaced as a failed receipt) — it must never
+raise an unexpected exception, loop forever, or corrupt balances.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.account.state import WorldState
+from repro.account.transaction import make_account_transaction
+from repro.chain.errors import ChainError
+from repro.vm.contract import CodeRegistry
+from repro.vm.opcodes import Instruction, Op
+from repro.vm.vm import VM
+
+ETHER = 10**18
+
+_operandless = [
+    Op.POP, Op.DUP, Op.SWAP, Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.LT,
+    Op.EQ, Op.ISZERO, Op.LOG, Op.STOP, Op.REVERT,
+]
+
+
+def _instruction_strategy():
+    operandless = st.sampled_from(_operandless).map(
+        lambda op: Instruction(op=op)
+    )
+    push = st.integers(min_value=-100, max_value=100).map(
+        lambda n: Instruction(op=Op.PUSH, operand=n)
+    )
+    jump = st.tuples(
+        st.sampled_from([Op.JUMP, Op.JUMPI]),
+        st.integers(min_value=0, max_value=30),
+    ).map(lambda pair: Instruction(op=pair[0], operand=pair[1]))
+    storage = st.tuples(
+        st.sampled_from([Op.SLOAD, Op.SSTORE, Op.BALANCE]),
+        st.sampled_from(["k0", "k1", "k2"]),
+    ).map(lambda pair: Instruction(op=pair[0], operand=pair[1]))
+    call = st.tuples(
+        st.sampled_from([Op.CALL, Op.TRANSFER]),
+        st.sampled_from(["0xplain", "0xother"]),
+        st.integers(min_value=0, max_value=5),
+    ).map(
+        lambda triple: Instruction(
+            op=triple[0], operand=(triple[1], triple[2])
+        )
+    )
+    return st.one_of(operandless, push, jump, storage, call)
+
+
+programs = st.lists(_instruction_strategy(), min_size=1, max_size=30)
+
+
+@settings(max_examples=300, deadline=None)
+@given(program=programs)
+def test_interpreter_is_total(program):
+    """Any program terminates with a receipt or a typed ChainError."""
+    state = WorldState()
+    registry = CodeRegistry()
+    registry.register("fuzz", tuple(program))
+    contract = "0xfuzz"
+    state.account(contract).code_id = "fuzz"
+    state.credit("0xuser", 10 * ETHER)
+    state.credit(contract, 1000)
+    vm = VM(registry)
+    tx = make_account_transaction(
+        sender="0xuser",
+        receiver=contract,
+        value=0,
+        nonce=0,
+        gas_limit=200_000,
+    )
+    try:
+        result = state.apply_transaction(tx, executor=vm.execute_transaction)
+    except ChainError:
+        return  # typed failure is acceptable
+    # Gas can never exceed the limit, and balances never go negative.
+    assert result.gas_used <= tx.gas_limit
+    assert state.balance_of("0xuser") >= 0
+    assert state.balance_of(contract) >= 0
+
+
+@settings(max_examples=150, deadline=None)
+@given(program=programs)
+def test_interpreter_never_mints(program):
+    """Total supply never increases through contract execution."""
+    state = WorldState()
+    registry = CodeRegistry()
+    registry.register("fuzz", tuple(program))
+    contract = "0xfuzz"
+    state.account(contract).code_id = "fuzz"
+    state.credit("0xuser", 10 * ETHER)
+    state.credit(contract, 1000)
+    supply_before = state.total_supply()
+    vm = VM(registry)
+    tx = make_account_transaction(
+        sender="0xuser",
+        receiver=contract,
+        value=0,
+        nonce=0,
+        gas_limit=100_000,
+    )
+    try:
+        state.apply_transaction(tx, executor=vm.execute_transaction)
+    except ChainError:
+        return
+    # Fees are burned, transfers conserve: supply can only shrink.
+    assert state.total_supply() <= supply_before
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    program=programs,
+    gas_limit=st.integers(min_value=21_000, max_value=60_000),
+)
+def test_tight_gas_limits_are_safe(program, gas_limit):
+    """Low gas budgets produce failed receipts, never stuck state."""
+    state = WorldState()
+    registry = CodeRegistry()
+    registry.register("fuzz", tuple(program))
+    contract = "0xfuzz"
+    state.account(contract).code_id = "fuzz"
+    state.credit("0xuser", 10 * ETHER)
+    vm = VM(registry)
+    tx = make_account_transaction(
+        sender="0xuser",
+        receiver=contract,
+        value=0,
+        nonce=0,
+        gas_limit=gas_limit,
+    )
+    try:
+        result = state.apply_transaction(tx, executor=vm.execute_transaction)
+    except ChainError:
+        return
+    assert result.gas_used <= gas_limit
+    assert state.nonce_of("0xuser") == 1  # nonce advanced exactly once

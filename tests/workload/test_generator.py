@@ -1,0 +1,103 @@
+"""Tests for the top-level generator and the cross-chain paper findings.
+
+The three headline findings of §IV are asserted here as relationships
+between chains, on small deterministic instances:
+
+1. UTXO-based chains have more concurrency than account-based ones;
+2. group conflict <= single-tx conflict (considerably, for Ethereum);
+3. chains with more transactions per block can have *lower* group
+   conflict rates (Ethereum vs. Ethereum Classic).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.generator import generate_all_chains, generate_chain
+
+
+def _tail_rate(history, metric, min_txs=1):
+    records = [
+        r for r in history.non_empty_records() if r.num_transactions >= min_txs
+    ]
+    tail = records[-max(1, len(records) // 3):]
+    weights = [r.weight_tx for r in tail]
+    values = [getattr(r.metrics, metric) for r in tail]
+    return sum(v * w for v, w in zip(values, weights)) / sum(weights)
+
+
+@pytest.fixture(scope="module")
+def chains():
+    return generate_all_chains(
+        num_blocks=60,
+        seed=11,
+        scale=0.25,
+        names=("bitcoin", "ethereum", "ethereum_classic"),
+    )
+
+
+class TestGenerateChain:
+    def test_accepts_profile_name_or_object(self):
+        from repro.workload.profiles import DOGECOIN
+
+        by_name = generate_chain("dogecoin", num_blocks=6, seed=1)
+        by_object = generate_chain(DOGECOIN, num_blocks=6, seed=1)
+        assert by_name.profile is by_object.profile
+        assert len(by_name.history) == 6
+
+    def test_history_model_matches_profile(self):
+        utxo = generate_chain("litecoin", num_blocks=5, seed=1)
+        account = generate_chain("zilliqa", num_blocks=5, seed=1)
+        assert utxo.history.data_model == "utxo"
+        assert account.history.data_model == "account"
+        assert account.account_builder is not None
+        assert utxo.account_builder is None
+
+    def test_unknown_chain(self):
+        with pytest.raises(KeyError):
+            generate_chain("tron", num_blocks=3)
+
+
+class TestPaperFindings:
+    def test_finding1_utxo_has_more_concurrency(self, chains):
+        """Bitcoin's conflict rates sit far below Ethereum's (§IV-A)."""
+        btc_single = _tail_rate(chains["bitcoin"].history,
+                                "single_conflict_rate", min_txs=20)
+        eth_single = _tail_rate(chains["ethereum"].history,
+                                "single_conflict_rate", min_txs=5)
+        assert btc_single < eth_single / 2
+        btc_group = _tail_rate(chains["bitcoin"].history,
+                               "group_conflict_rate", min_txs=20)
+        eth_group = _tail_rate(chains["ethereum"].history,
+                               "group_conflict_rate", min_txs=5)
+        assert btc_group < eth_group
+
+    def test_finding2_group_below_single_for_ethereum(self, chains):
+        """§IV-B: the gap is considerable for Ethereum."""
+        single = _tail_rate(chains["ethereum"].history,
+                            "single_conflict_rate", min_txs=5)
+        group = _tail_rate(chains["ethereum"].history,
+                           "group_conflict_rate", min_txs=5)
+        assert group < single
+        assert single - group > 0.15
+
+    def test_finding3_bigger_blocks_lower_group_rate(self, chains):
+        """§IV-C: ETH has ~10x ETC's load but a *lower* group rate."""
+        eth = chains["ethereum"].history
+        etc = chains["ethereum_classic"].history
+        assert (
+            eth.mean_transactions_per_block()
+            > 4 * etc.mean_transactions_per_block()
+        )
+        eth_group = _tail_rate(eth, "group_conflict_rate", min_txs=5)
+        etc_group = _tail_rate(etc, "group_conflict_rate", min_txs=3)
+        assert eth_group < etc_group
+
+    def test_ethereum_speedup_headline(self, chains):
+        """The paper's headline: ~6x at 8 cores from group concurrency."""
+        from repro.core.speedup import group_speedup_bound
+
+        group = _tail_rate(chains["ethereum"].history,
+                           "group_conflict_rate", min_txs=5)
+        speedup = group_speedup_bound(8, group)
+        assert 2.5 <= speedup <= 8.0

@@ -1,0 +1,151 @@
+"""Tests for the chain profiles and era interpolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.profiles import (
+    ACCOUNT_PROFILES,
+    ALL_PROFILES,
+    BITCOIN,
+    ETHEREUM,
+    ETHEREUM_CLASSIC,
+    UTXO_PROFILES,
+    ZILLIQA,
+    ChainProfile,
+    Era,
+    get_profile,
+    interpolate_era,
+)
+
+
+class TestCatalogue:
+    def test_seven_chains(self):
+        assert len(ALL_PROFILES) == 7
+
+    def test_table1_data_models(self):
+        """Paper Table I: 4 UTXO chains, 3 account chains."""
+        assert len(UTXO_PROFILES) == 4
+        assert len(ACCOUNT_PROFILES) == 3
+
+    def test_table1_smart_contract_column(self):
+        with_contracts = {
+            p.name for p in ALL_PROFILES if p.smart_contracts
+        }
+        assert with_contracts == {
+            "ethereum", "ethereum_classic", "zilliqa"
+        }
+
+    def test_table1_consensus_column(self):
+        assert ZILLIQA.consensus == "PoW+Sharding"
+        assert all(
+            p.consensus == "PoW" for p in ALL_PROFILES if p.name != "zilliqa"
+        )
+
+    def test_table1_data_source_column(self):
+        assert ZILLIQA.data_source == "—"
+        assert all(
+            p.data_source == "BigQuery"
+            for p in ALL_PROFILES
+            if p.name != "zilliqa"
+        )
+
+    def test_zilliqa_is_the_only_sharded_chain(self):
+        assert ZILLIQA.num_shards > 0
+        assert all(
+            p.num_shards == 0 for p in ALL_PROFILES if p.name != "zilliqa"
+        )
+
+    def test_get_profile(self):
+        assert get_profile("bitcoin") is BITCOIN
+        with pytest.raises(KeyError):
+            get_profile("solana")
+
+    def test_calibration_relationships(self):
+        """§IV-C's load relationships are encoded in the late eras."""
+        eth_late = ETHEREUM.eras[-1].mean_txs_per_block
+        etc_late = ETHEREUM_CLASSIC.eras[-1].mean_txs_per_block
+        assert eth_late >= 10 * etc_late  # order of magnitude gap
+        btc_late = BITCOIN.eras[-1].mean_txs_per_block
+        bch_late = get_profile("bitcoin_cash").eras[-1].mean_txs_per_block
+        assert btc_late > 5 * bch_late
+
+
+class TestEra:
+    def test_share_budget_enforced(self):
+        with pytest.raises(ValueError):
+            Era(
+                year=2020,
+                mean_txs_per_block=10,
+                num_users=10,
+                exchange_deposit_share=0.6,
+                exchange_withdrawal_share=0.6,
+            )
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            Era(year=2020, mean_txs_per_block=-1, num_users=10)
+
+
+class TestInterpolation:
+    def _eras(self):
+        return (
+            Era(year=2016.0, mean_txs_per_block=10, num_users=100),
+            Era(year=2018.0, mean_txs_per_block=110, num_users=1100),
+        )
+
+    def test_midpoint_interpolates_linearly(self):
+        era = interpolate_era(self._eras(), 2017.0)
+        assert era.mean_txs_per_block == pytest.approx(60.0)
+        assert era.num_users == 600
+
+    def test_clamps_before_first_and_after_last(self):
+        eras = self._eras()
+        assert interpolate_era(eras, 2000.0).mean_txs_per_block == 10
+        assert interpolate_era(eras, 2030.0).mean_txs_per_block == 110
+
+    def test_int_fields_stay_int(self):
+        era = interpolate_era(self._eras(), 2016.77)
+        assert isinstance(era.num_users, int)
+
+    def test_empty_eras_rejected(self):
+        with pytest.raises(ValueError):
+            interpolate_era((), 2017.0)
+
+
+class TestChainProfile:
+    def test_year_of_timestamp(self):
+        year = BITCOIN.year_of_timestamp(0.0)
+        assert year == pytest.approx(BITCOIN.start_year)
+        one_year = 365.25 * 24 * 3600
+        assert BITCOIN.year_of_timestamp(one_year) == pytest.approx(
+            BITCOIN.start_year + 1.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChainProfile(
+                name="x",
+                display_name="X",
+                data_model="document",
+                consensus="PoW",
+                smart_contracts=False,
+                data_source="—",
+                start_year=2020.0,
+                end_year=2021.0,
+                block_interval=60.0,
+                eras=(Era(year=2020, mean_txs_per_block=1, num_users=1),),
+            )
+        with pytest.raises(ValueError):
+            ChainProfile(
+                name="x",
+                display_name="X",
+                data_model="utxo",
+                consensus="PoW",
+                smart_contracts=False,
+                data_source="—",
+                start_year=2021.0,
+                end_year=2020.0,
+                block_interval=60.0,
+                eras=(Era(year=2020, mean_txs_per_block=1, num_users=1),),
+            )

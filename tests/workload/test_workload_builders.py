@@ -1,0 +1,198 @@
+"""Integration tests for the UTXO and account workload builders.
+
+These are the load-bearing tests of the substitution argument: they
+assert that the synthetic chains are *valid* (every spend checks out,
+every block links) and that their measured concurrency lands in the
+regimes the paper reports (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import analyze_account_block, analyze_utxo_ledger
+from repro.utxo.utxo_set import UTXOSet
+from repro.workload.account_workload import AccountWorkloadBuilder
+from repro.workload.profiles import BITCOIN, ETHEREUM, get_profile
+from repro.workload.utxo_workload import UTXOWorkloadBuilder
+
+
+def _weighted_rate(records, metric):
+    weights = [r.weight_tx for r in records]
+    values = [getattr(r.metrics, metric) for r in records]
+    total = sum(weights)
+    return sum(v * w for v, w in zip(values, weights)) / total
+
+
+class TestUTXOBuilder:
+    def test_rejects_account_profile(self):
+        with pytest.raises(ValueError):
+            UTXOWorkloadBuilder(profile=ETHEREUM)
+
+    def test_ledger_is_valid(self, small_bitcoin_builder):
+        assert small_bitcoin_builder.ledger.verify_links()
+
+    def test_chain_replays_against_fresh_utxo_set(
+        self, small_bitcoin_builder
+    ):
+        """Every block re-validates from genesis on a fresh state."""
+        replay = UTXOSet()
+        for block in small_bitcoin_builder.ledger:
+            replay.apply_block(block.transactions)
+        assert len(replay) == len(small_bitcoin_builder.utxo_set)
+
+    def test_coinbase_first_in_every_block(self, small_bitcoin_ledger):
+        for block in small_bitcoin_ledger:
+            assert block.transactions[0].is_coinbase
+            assert not any(tx.is_coinbase for tx in block.transactions[1:])
+
+    def test_timestamps_span_profile_years(self, small_bitcoin_builder):
+        profile = small_bitcoin_builder.profile
+        last = small_bitcoin_builder.ledger.tip.header.timestamp
+        final_year = profile.year_of_timestamp(last)
+        assert final_year > profile.start_year + 0.5 * profile.duration_years
+
+    def test_deterministic_given_seed(self):
+        a = UTXOWorkloadBuilder(profile=BITCOIN, seed=42, scale=0.02)
+        a.build_chain(6)
+        b = UTXOWorkloadBuilder(profile=BITCOIN, seed=42, scale=0.02)
+        b.build_chain(6)
+        hashes_a = [blk.block_hash for blk in a.ledger]
+        hashes_b = [blk.block_hash for blk in b.ledger]
+        assert hashes_a == hashes_b
+
+    def test_different_seeds_differ(self):
+        a = UTXOWorkloadBuilder(profile=BITCOIN, seed=1, scale=0.02)
+        a.build_chain(4)
+        b = UTXOWorkloadBuilder(profile=BITCOIN, seed=2, scale=0.02)
+        b.build_chain(4)
+        assert [x.block_hash for x in a.ledger] != [
+            x.block_hash for x in b.ledger
+        ]
+
+    def test_conflict_regime_matches_paper(self, small_bitcoin_builder):
+        """Bitcoin: low single-tx conflict, near-zero group conflict."""
+        history = analyze_utxo_ledger(
+            small_bitcoin_builder.ledger, name="bitcoin"
+        )
+        records = [r for r in history.records if r.num_transactions >= 20]
+        assert records, "chain too small for regime check"
+        single = _weighted_rate(records, "single_conflict_rate")
+        group = _weighted_rate(records, "group_conflict_rate")
+        assert 0.03 < single < 0.35
+        assert group < 0.12
+        assert group < single
+
+
+class TestAccountBuilder:
+    def test_rejects_utxo_profile(self):
+        with pytest.raises(ValueError):
+            AccountWorkloadBuilder(profile=BITCOIN)
+
+    def test_ledger_is_valid(self, small_ethereum_builder):
+        assert small_ethereum_builder.ledger.verify_links()
+
+    def test_nonces_are_sequential_per_sender(self, small_ethereum_builder):
+        seen: dict[str, int] = {}
+        for _block, executed in small_ethereum_builder.executed_blocks:
+            for item in executed:
+                if item.tx.is_coinbase:
+                    continue
+                expected = seen.get(item.tx.sender, 0)
+                assert item.tx.nonce == expected
+                seen[item.tx.sender] = expected + 1
+
+    def test_internal_transactions_produced_by_vm(
+        self, small_ethereum_builder
+    ):
+        internal_total = sum(
+            item.receipt.trace_count
+            for _block, executed in small_ethereum_builder.executed_blocks
+            for item in executed
+        )
+        assert internal_total > 0
+
+    def test_contract_calls_touch_storage(self, small_ethereum_builder):
+        writes = 0
+        for _block, executed in small_ethereum_builder.executed_blocks:
+            for item in executed:
+                writes += len(item.receipt.storage_writes)
+        assert writes > 0
+
+    def test_conflict_regime_matches_paper(self, small_ethereum_builder):
+        """Ethereum: high single-tx conflict, moderate group conflict."""
+        records = []
+        for block, executed in small_ethereum_builder.executed_blocks:
+            record, _ = analyze_account_block(
+                executed,
+                height=block.height,
+                timestamp=block.header.timestamp,
+            )
+            if record.num_transactions >= 10:
+                records.append(record)
+        assert records
+        single = _weighted_rate(records, "single_conflict_rate")
+        group = _weighted_rate(records, "group_conflict_rate")
+        assert 0.4 < single < 0.95
+        assert 0.1 < group < 0.7
+        assert group < single
+
+    def test_gas_weighted_rate_below_tx_weighted(
+        self, small_ethereum_builder
+    ):
+        """§IV-A: heavy creations pull the gas-weighted rate down."""
+        singles, gas_singles = [], []
+        for block, executed in small_ethereum_builder.executed_blocks:
+            record, _ = analyze_account_block(
+                executed,
+                height=block.height,
+                timestamp=block.header.timestamp,
+            )
+            if record.num_transactions >= 10:
+                singles.append(record.metrics.single_conflict_rate)
+                gas_singles.append(
+                    record.metrics.weighted_single_conflict_rate
+                )
+        assert sum(gas_singles) / len(gas_singles) < sum(singles) / len(
+            singles
+        )
+
+
+class TestShardedBuilder:
+    def test_zilliqa_blocks_are_shard_major(self, small_zilliqa_builder):
+        builder = small_zilliqa_builder
+        assert builder.sharding is not None
+        for block, _executed in builder.executed_blocks:
+            shards = [
+                builder.sharding.shard_of(tx.sender)
+                for tx in block.transactions
+                if not tx.is_coinbase
+            ]
+            assert shards == sorted(shards)
+
+    def test_no_cross_shard_contract_calls(self, small_zilliqa_builder):
+        builder = small_zilliqa_builder
+        contracts = builder.sharding.contract_addresses
+        for _block, executed in builder.executed_blocks:
+            for item in executed:
+                tx = item.tx
+                if tx.is_coinbase or tx.receiver not in contracts:
+                    continue
+                assert builder.sharding.shard_of(
+                    tx.sender
+                ) == builder.sharding.shard_of(tx.receiver)
+
+    def test_zilliqa_conflict_rates_are_high(self, small_zilliqa_builder):
+        """§IV-A attributes Zilliqa's high rates to its workload."""
+        records = []
+        for block, executed in small_zilliqa_builder.executed_blocks:
+            record, _ = analyze_account_block(
+                executed,
+                height=block.height,
+                timestamp=block.header.timestamp,
+            )
+            if record.num_transactions >= 4:
+                records.append(record)
+        assert records
+        single = _weighted_rate(records, "single_conflict_rate")
+        assert single > 0.45
