@@ -18,9 +18,12 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
+from repro.obs.exporters import registry_snapshot_json
 from repro.workload.generator import GeneratedChain, generate_chain
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+METRICS_DIR = OUTPUT_DIR / "metrics"
 
 # Per-chain (num_blocks, scale) used by the benches: enough volume for
 # stable rates while keeping the full harness under a few minutes.
@@ -51,6 +54,23 @@ def write_output(name: str, text: str) -> Path:
     OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
     path = OUTPUT_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    return path
+
+
+def write_metrics_snapshot(
+    name: str, registry: obs.MetricsRegistry | None = None
+) -> Path:
+    """Persist a metrics snapshot under benchmarks/output/metrics/.
+
+    With no explicit *registry* the currently installed one is dumped —
+    pair with the ``obs_session`` fixture, which installs a recording
+    registry around the bench body so every bench can emit the
+    instrumentation counters alongside its timing output.
+    """
+    registry = registry if registry is not None else obs.get_registry()
+    METRICS_DIR.mkdir(parents=True, exist_ok=True)
+    path = METRICS_DIR / f"{name}.json"
+    path.write_text(registry_snapshot_json(registry) + "\n")
     return path
 
 

@@ -64,7 +64,7 @@ def _run_engines(blocks):
     return rows
 
 
-def test_execution_engine_vs_models(benchmark):
+def test_execution_engine_vs_models(benchmark, obs_session):
     blocks = _blocks()
     assert blocks, "no sufficiently large blocks generated"
     rows = benchmark(_run_engines, blocks)

@@ -4,10 +4,26 @@ from __future__ import annotations
 
 import pytest
 
-from _common import get_chain
+from _common import get_chain, write_metrics_snapshot
+
+from repro import obs
 
 
 @pytest.fixture(scope="session")
 def chains():
     """Accessor for cached bench chains."""
     return get_chain
+
+
+@pytest.fixture
+def obs_session(request):
+    """Recording instrumentation around one bench.
+
+    Yields the active :class:`repro.obs.ObservabilityState`; on teardown
+    the registry snapshot lands in ``benchmarks/output/metrics/`` named
+    after the test, so every bench emits its metrics alongside its
+    timing output.
+    """
+    with obs.instrumented() as state:
+        yield state
+    write_metrics_snapshot(request.node.name, state.registry)

@@ -8,8 +8,11 @@ Usage (also installed as the ``repro`` console script)::
     python -m repro.cli compare --left ethereum --right ethereum_classic
     python -m repro.cli examples
     python -m repro.cli export --chain bitcoin --out ./data
+    python -m repro.cli profile --chain ethereum --blocks 50 \
+        --trace-out spans.jsonl
 
-Every command is deterministic under ``--seed``.
+Every command is deterministic under ``--seed``.  Unknown ``--chain``
+names exit with status 2 and a message listing the known profiles.
 """
 
 from __future__ import annotations
@@ -39,14 +42,32 @@ from repro.workload.generator import generate_chain
 from repro.workload.profiles import ALL_PROFILES, PROFILES_BY_NAME
 
 
-def _add_generation_args(parser: argparse.ArgumentParser) -> None:
+class CLIError(Exception):
+    """A user-facing CLI failure: printed to stderr, exit status 2."""
+
+
+def _resolve_profile(name: str):
+    """Profile lookup with a clear, nonzero-exit error for bad names."""
+    try:
+        return PROFILES_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES_BY_NAME))
+        raise CLIError(
+            f"unknown chain {name!r}; known chains: {known}"
+        ) from None
+
+
+def _add_generation_args(
+    parser: argparse.ArgumentParser, *, default_blocks: int = 120
+) -> None:
+    known = ", ".join(sorted(PROFILES_BY_NAME))
     parser.add_argument(
         "--chain",
         required=True,
-        choices=sorted(PROFILES_BY_NAME),
-        help="which blockchain profile to simulate",
+        metavar="NAME",
+        help=f"which blockchain profile to simulate (one of: {known})",
     )
-    parser.add_argument("--blocks", type=int, default=120,
+    parser.add_argument("--blocks", type=int, default=default_blocks,
                         help="number of blocks to simulate")
     parser.add_argument("--seed", type=int, default=0,
                         help="determinism seed")
@@ -57,8 +78,9 @@ def _add_generation_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _generate(args: argparse.Namespace):
+    profile = _resolve_profile(args.chain)
     return generate_chain(
-        args.chain,
+        profile,
         num_blocks=args.blocks,
         seed=args.seed,
         scale=args.scale,
@@ -124,11 +146,10 @@ def cmd_speedup(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     for name in (args.left, args.right):
-        if name not in PROFILES_BY_NAME:
-            print(f"error: unknown chain {name!r}", file=sys.stderr)
-            return 2
+        profile = _resolve_profile(name)
         chain = generate_chain(
-            name, num_blocks=args.blocks, seed=args.seed, scale=args.scale
+            profile, num_blocks=args.blocks, seed=args.seed,
+            scale=args.scale,
         )
         records = chain.history.non_empty_records()
         weight = sum(r.weight_tx for r in records) or 1.0
@@ -183,7 +204,7 @@ def cmd_export(args: argparse.Namespace) -> int:
     from repro.workload.account_workload import build_account_chain
     from repro.workload.utxo_workload import build_utxo_chain
 
-    profile = PROFILES_BY_NAME[args.chain]
+    profile = _resolve_profile(args.chain)
     if profile.data_model == "utxo":
         ledger = build_utxo_chain(
             profile, num_blocks=args.blocks, seed=args.seed,
@@ -302,6 +323,101 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run the instrumented pipeline + executors; dump spans and metrics.
+
+    Generates the chain, analyzes every block (TDG + metrics under
+    ``pipeline.*`` / ``tdg.*`` spans), then replays each block through
+    the speculative, OCC and grouped executors so the trace carries the
+    ``exec.*`` spans and abort/retry counters.  Output is a JSON-lines
+    file of spans ending in a metrics snapshot, plus a human-readable
+    summary on stdout.
+    """
+    from repro import obs
+    from repro.core.pipeline import analyze_account_block, analyze_utxo_block
+    from repro.execution.engine import (
+        tasks_from_account_block,
+        tasks_from_utxo_block,
+    )
+    from repro.execution.grouped import GroupedExecutor
+    from repro.execution.occ import OCCExecutor
+    from repro.execution.speculative import SpeculativeExecutor
+    from repro.obs.exporters import (
+        render_prometheus,
+        render_summary,
+        write_trace_jsonl,
+    )
+    from repro.workload.account_workload import build_account_chain
+    from repro.workload.utxo_workload import build_utxo_chain
+
+    profile = _resolve_profile(args.chain)
+    if args.cores < 1:
+        raise CLIError("--cores must be at least 1")
+
+    def run_executors(tasks, height: int) -> None:
+        with obs.trace_span("exec.block", height=height):
+            SpeculativeExecutor(args.cores).run(tasks)
+            OCCExecutor(args.cores).run(tasks)
+            GroupedExecutor(args.cores).run(tasks)
+
+    with obs.instrumented() as state:
+        with obs.trace_span("profile.run", chain=args.chain,
+                            blocks=args.blocks):
+            if profile.data_model == "utxo":
+                ledger = build_utxo_chain(
+                    profile, num_blocks=args.blocks, seed=args.seed,
+                    scale=args.scale,
+                )
+                for block in ledger:
+                    analyze_utxo_block(
+                        block.transactions,
+                        height=block.height,
+                        timestamp=block.header.timestamp,
+                    )
+                    run_executors(
+                        tasks_from_utxo_block(block.transactions),
+                        block.height,
+                    )
+            else:
+                builder = build_account_chain(
+                    profile, num_blocks=args.blocks, seed=args.seed,
+                    scale=args.scale,
+                )
+                for block, executed in builder.executed_blocks:
+                    analyze_account_block(
+                        executed,
+                        height=block.height,
+                        timestamp=block.header.timestamp,
+                    )
+                    run_executors(
+                        tasks_from_account_block(executed), block.height
+                    )
+
+    try:
+        num_spans = write_trace_jsonl(
+            args.trace_out, state.tracer, state.registry
+        )
+    except OSError as exc:
+        raise CLIError(f"cannot write trace file: {exc}") from None
+    print(f"wrote {num_spans} spans + metrics snapshot to "
+          f"{args.trace_out}")
+    if args.prometheus_out:
+        from pathlib import Path
+
+        try:
+            Path(args.prometheus_out).write_text(
+                render_prometheus(state.registry) + "\n"
+            )
+        except OSError as exc:
+            raise CLIError(
+                f"cannot write Prometheus file: {exc}"
+            ) from None
+        print(f"wrote Prometheus metrics to {args.prometheus_out}")
+    print()
+    print(render_summary(state.tracer, state.registry))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -352,6 +468,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.set_defaults(func=cmd_export)
 
     sub = subparsers.add_parser(
+        "profile",
+        help="instrumented run: dump tracing spans and metrics",
+    )
+    _add_generation_args(sub, default_blocks=50)
+    sub.add_argument("--cores", type=int, default=8,
+                     help="simulated core count for the executors")
+    sub.add_argument("--trace-out", required=True,
+                     help="output path for the span/metric JSON lines")
+    sub.add_argument("--prometheus-out", default="",
+                     help="also write a Prometheus text-format snapshot")
+    sub.set_defaults(func=cmd_profile)
+
+    sub = subparsers.add_parser(
         "report",
         help="regenerate every paper table/figure into a directory",
     )
@@ -368,7 +497,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro import obs
 from repro.account.receipts import ExecutedTransaction
 from repro.chain.block import Block
 from repro.chain.ledger import Ledger
@@ -119,17 +120,21 @@ def analyze_utxo_block(
     timestamp: float,
 ) -> tuple[BlockRecord, TDGResult]:
     """Build the TDG and metrics for one UTXO block."""
-    tdg = utxo_tdg(transactions)
-    metrics = compute_block_metrics(tdg)
-    regular = [tx for tx in transactions if not tx.is_coinbase]
-    record = BlockRecord(
-        height=height,
-        timestamp=timestamp,
-        num_transactions=len(regular),
-        metrics=metrics,
-        num_input_txos=sum(len(tx.inputs) for tx in regular),
-        size_bytes=float(sum(tx.size_bytes for tx in transactions)),
-    )
+    with obs.trace_span("pipeline.block", height=height, model="utxo"):
+        tdg = utxo_tdg(transactions)
+        with obs.trace_span("pipeline.metrics", height=height):
+            metrics = compute_block_metrics(tdg)
+        regular = [tx for tx in transactions if not tx.is_coinbase]
+        record = BlockRecord(
+            height=height,
+            timestamp=timestamp,
+            num_transactions=len(regular),
+            metrics=metrics,
+            num_input_txos=sum(len(tx.inputs) for tx in regular),
+            size_bytes=float(sum(tx.size_bytes for tx in transactions)),
+        )
+    obs.counter("pipeline.blocks", model="utxo").inc()
+    obs.counter("pipeline.transactions", model="utxo").inc(len(regular))
     return record, tdg
 
 
@@ -140,22 +145,26 @@ def analyze_account_block(
     timestamp: float,
 ) -> tuple[BlockRecord, TDGResult]:
     """Build the TDG and gas-weighted metrics for one account block."""
-    tdg = account_tdg(executed)
-    gas_weights = {
-        item.tx_hash: float(max(item.gas_used, 1))
-        for item in executed
-        if not item.is_coinbase
-    }
-    metrics = compute_block_metrics(tdg, weights=gas_weights)
-    regular = [item for item in executed if not item.is_coinbase]
-    record = BlockRecord(
-        height=height,
-        timestamp=timestamp,
-        num_transactions=len(regular),
-        metrics=metrics,
-        num_internal=sum(item.receipt.trace_count for item in regular),
-        gas_used=float(sum(item.gas_used for item in regular)),
-    )
+    with obs.trace_span("pipeline.block", height=height, model="account"):
+        tdg = account_tdg(executed)
+        gas_weights = {
+            item.tx_hash: float(max(item.gas_used, 1))
+            for item in executed
+            if not item.is_coinbase
+        }
+        with obs.trace_span("pipeline.metrics", height=height):
+            metrics = compute_block_metrics(tdg, weights=gas_weights)
+        regular = [item for item in executed if not item.is_coinbase]
+        record = BlockRecord(
+            height=height,
+            timestamp=timestamp,
+            num_transactions=len(regular),
+            metrics=metrics,
+            num_internal=sum(item.receipt.trace_count for item in regular),
+            gas_used=float(sum(item.gas_used for item in regular)),
+        )
+    obs.counter("pipeline.blocks", model="account").inc()
+    obs.counter("pipeline.transactions", model="account").inc(len(regular))
     return record, tdg
 
 
@@ -167,13 +176,14 @@ def analyze_utxo_ledger(
 ) -> ChainHistory:
     """Run the pipeline over every block of a UTXO ledger."""
     history = ChainHistory(name=name, data_model="utxo", start_year=start_year)
-    for block in ledger:
-        record, _tdg = analyze_utxo_block(
-            block.transactions,
-            height=block.height,
-            timestamp=block.header.timestamp,
-        )
-        history.append(record)
+    with obs.trace_span("pipeline.chain", chain=name, model="utxo"):
+        for block in ledger:
+            record, _tdg = analyze_utxo_block(
+                block.transactions,
+                height=block.height,
+                timestamp=block.header.timestamp,
+            )
+            history.append(record)
     return history
 
 
@@ -187,11 +197,12 @@ def analyze_account_blocks(
     history = ChainHistory(
         name=name, data_model="account", start_year=start_year
     )
-    for block, executed in blocks:
-        record, _tdg = analyze_account_block(
-            executed,
-            height=block.height,
-            timestamp=block.header.timestamp,
-        )
-        history.append(record)
+    with obs.trace_span("pipeline.chain", chain=name, model="account"):
+        for block, executed in blocks:
+            record, _tdg = analyze_account_block(
+                executed,
+                height=block.height,
+                timestamp=block.header.timestamp,
+            )
+            history.append(record)
     return history

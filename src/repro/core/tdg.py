@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from repro import obs
 from repro.account.receipts import ExecutedTransaction
 from repro.core.components import (
     UnionFind,
@@ -121,17 +122,27 @@ def utxo_tdg_from_arrays(
     """
     if len(spending) != len(spent):
         raise ValueError("spending and spent arrays must be parallel")
-    nodes = list(dict.fromkeys(block_txs))
-    node_set = set(nodes)
-    edges = [
-        (creator, spender)
-        for spender, creator in zip(spending, spent)
-        if creator in node_set and spender in node_set
-    ]
-    adjacency = build_adjacency(nodes, edges)
-    components = connected_components_bfs(adjacency)
-    groups = tuple(tuple(component) for component in components)
-    return TDGResult(groups=groups, num_transactions=len(nodes))
+    with obs.trace_span("tdg.build", model="utxo") as span:
+        nodes = list(dict.fromkeys(block_txs))
+        node_set = set(nodes)
+        edges = [
+            (creator, spender)
+            for spender, creator in zip(spending, spent)
+            if creator in node_set and spender in node_set
+        ]
+        adjacency = build_adjacency(nodes, edges)
+        components = connected_components_bfs(adjacency)
+        groups = tuple(tuple(component) for component in components)
+        if obs.enabled():
+            span.set(transactions=len(nodes), edges=len(edges),
+                     groups=len(groups))
+            obs.counter("tdg.builds", model="utxo").inc()
+            obs.counter("tdg.edges_scanned", model="utxo").inc(len(spending))
+            obs.counter("tdg.edges_in_block", model="utxo").inc(len(edges))
+            obs.counter("tdg.components_merged", model="utxo").inc(
+                len(nodes) - len(groups)
+            )
+        return TDGResult(groups=groups, num_transactions=len(nodes))
 
 
 # -- Account model ------------------------------------------------------------
@@ -169,48 +180,66 @@ def account_tdg_from_edges(
     one component because its call tree is connected; a defensive merge
     handles degenerate inputs where they are not.
     """
-    forest = UnionFind()
-    addresses: list[str] = []
-    seen: set[str] = set()
+    with obs.trace_span("tdg.build", model="account") as span:
+        forest = UnionFind()
+        addresses: list[str] = []
+        seen: set[str] = set()
 
-    def note(address: str) -> None:
-        if address not in seen:
-            seen.add(address)
-            addresses.append(address)
-            forest.add(address)
+        def note(address: str) -> None:
+            if address not in seen:
+                seen.add(address)
+                addresses.append(address)
+                forest.add(address)
 
-    for tx_hash, pairs in tx_edges.items():
-        if not pairs:
-            note(f"__isolated__{tx_hash}")
-            continue
-        first = pairs[0][0]
-        for sender, receiver in pairs:
-            note(sender)
-            note(receiver)
-            forest.union(sender, receiver)
-            # Defensive: tie every pair back to the first endpoint so a
-            # transaction always lands in exactly one component.
-            forest.union(first, sender)
+        for tx_hash, pairs in tx_edges.items():
+            if not pairs:
+                note(f"__isolated__{tx_hash}")
+                continue
+            first = pairs[0][0]
+            for sender, receiver in pairs:
+                note(sender)
+                note(receiver)
+                forest.union(sender, receiver)
+                # Defensive: tie every pair back to the first endpoint so a
+                # transaction always lands in exactly one component.
+                forest.union(first, sender)
 
-    groups_by_root: dict[object, list[str]] = {}
-    for tx_hash, pairs in tx_edges.items():
-        anchor = pairs[0][0] if pairs else f"__isolated__{tx_hash}"
-        root = forest.find(anchor)
-        groups_by_root.setdefault(root, []).append(tx_hash)
+        groups_by_root: dict[object, list[str]] = {}
+        for tx_hash, pairs in tx_edges.items():
+            anchor = pairs[0][0] if pairs else f"__isolated__{tx_hash}"
+            root = forest.find(anchor)
+            groups_by_root.setdefault(root, []).append(tx_hash)
 
-    address_components: dict[object, list[str]] = {}
-    for address in addresses:
-        if address.startswith("__isolated__"):
-            continue
-        address_components.setdefault(forest.find(address), []).append(address)
+        address_components: dict[object, list[str]] = {}
+        for address in addresses:
+            if address.startswith("__isolated__"):
+                continue
+            address_components.setdefault(
+                forest.find(address), []
+            ).append(address)
 
-    return TDGResult(
-        groups=tuple(tuple(group) for group in groups_by_root.values()),
-        num_transactions=len(tx_edges),
-        address_components=tuple(
-            tuple(component) for component in address_components.values()
-        ),
-    )
+        if obs.enabled():
+            num_isolated = sum(
+                1 for a in addresses if a.startswith("__isolated__")
+            )
+            non_isolated = len(addresses) - num_isolated
+            span.set(transactions=len(tx_edges),
+                     addresses=non_isolated,
+                     groups=len(groups_by_root))
+            obs.counter("tdg.builds", model="account").inc()
+            obs.counter("tdg.edges_scanned", model="account").inc(
+                sum(len(pairs) for pairs in tx_edges.values())
+            )
+            obs.counter("tdg.components_merged", model="account").inc(
+                non_isolated - len(address_components)
+            )
+        return TDGResult(
+            groups=tuple(tuple(group) for group in groups_by_root.values()),
+            num_transactions=len(tx_edges),
+            address_components=tuple(
+                tuple(component) for component in address_components.values()
+            ),
+        )
 
 
 # -- Storage-level conflicts (ref. [17] ablation) ----------------------------
@@ -230,6 +259,13 @@ def storage_conflict_groups(
     (transactions touching the same address but different storage keys
     are independent here).
     """
+    with obs.trace_span("tdg.storage_groups") as span:
+        return _storage_conflict_groups(executed, span)
+
+
+def _storage_conflict_groups(
+    executed: Sequence[ExecutedTransaction], span
+) -> TDGResult:
     forest = UnionFind()
     writers: dict[tuple[str, str], str] = {}
     readers: dict[tuple[str, str], list[str]] = {}
@@ -267,6 +303,12 @@ def storage_conflict_groups(
     groups_by_root: dict[object, list[str]] = {}
     for tx_hash in hashes:
         groups_by_root.setdefault(forest.find(tx_hash), []).append(tx_hash)
+    if obs.enabled():
+        span.set(transactions=len(hashes), groups=len(groups_by_root))
+        obs.counter("tdg.builds", model="storage").inc()
+        obs.counter("tdg.locations_tracked", model="storage").inc(
+            len(writers) + len(readers)
+        )
     return TDGResult(
         groups=tuple(tuple(group) for group in groups_by_root.values()),
         num_transactions=len(hashes),

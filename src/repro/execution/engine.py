@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.account.receipts import ExecutedTransaction
 from repro.core.components import UnionFind
 from repro.core.tdg import TDGResult
@@ -81,8 +82,35 @@ class ExecutionReport:
         return self.speedup / self.cores
 
 
+def record_report(report: ExecutionReport) -> None:
+    """Feed an :class:`ExecutionReport` into the metrics registry.
+
+    Shared by every executor so the snapshot carries a uniform
+    ``exec.*`` family (runs, tasks, aborts, re-executions, wall-time
+    and utilization distributions) labelled by executor and core count.
+    """
+    if not obs.enabled():
+        return
+    labels = {"executor": report.executor, "cores": report.cores}
+    obs.counter("exec.runs", **labels).inc()
+    obs.counter("exec.tasks", **labels).inc(report.num_tasks)
+    obs.counter("exec.aborts", **labels).inc(report.aborts)
+    obs.counter("exec.reexecuted", **labels).inc(report.reexecuted)
+    obs.counter("exec.rounds", **labels).inc(report.rounds)
+    obs.histogram("exec.wall_time", **labels).observe(report.wall_time)
+    if report.num_tasks:
+        obs.histogram("exec.speedup", **labels).observe(report.speedup)
+        obs.histogram("exec.core_utilization", **labels).observe(
+            report.efficiency
+        )
+
+
 def conflict_groups(tasks: Sequence[TxTask]) -> list[list[TxTask]]:
     """Partition *tasks* into storage-conflict groups via union-find."""
+    if obs.enabled():
+        obs.counter("exec.conflict_checks").inc(
+            sum(len(task.reads) + len(task.writes) for task in tasks)
+        )
     forest = UnionFind()
     location_writer: dict[str, str] = {}
     location_readers: dict[str, list[str]] = {}
@@ -115,13 +143,15 @@ class SequentialExecutor:
     def run(self, tasks: Sequence[TxTask], cores: int = 1) -> ExecutionReport:
         """Execute in block order on one core; wall time is total work."""
         total = sum(task.cost for task in tasks)
-        return ExecutionReport(
+        report = ExecutionReport(
             executor=self.name,
             cores=1,
             wall_time=total,
             total_work=total,
             num_tasks=len(tasks),
         )
+        record_report(report)
+        return report
 
 
 # -- task adapters ------------------------------------------------------------

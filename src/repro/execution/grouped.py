@@ -16,7 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.execution.engine import ExecutionReport, TxTask, conflict_groups
+from repro import obs
+from repro.execution.engine import (
+    ExecutionReport,
+    TxTask,
+    conflict_groups,
+    record_report,
+)
 from repro.execution.simulator import CoreSimulator
 
 
@@ -66,19 +72,30 @@ class GroupedExecutor:
                 total_work=0.0,
                 num_tasks=0,
             )
-        if groups is None:
-            groups = conflict_groups(tasks)
-        ordered = [list(group) for group in groups if group]
-        if self.policy == "lpt":
-            ordered.sort(
-                key=lambda group: -sum(task.cost for task in group)
+        with obs.trace_span(
+            "exec.grouped.run", cores=self.cores, policy=self.policy
+        ) as span:
+            if groups is None:
+                groups = conflict_groups(tasks)
+            ordered = [list(group) for group in groups if group]
+            if self.policy == "lpt":
+                ordered.sort(
+                    key=lambda group: -sum(task.cost for task in group)
+                )
+            run = CoreSimulator(self.cores).run_chains(ordered)
+            if obs.enabled():
+                span.set(tasks=len(tasks), groups=len(ordered))
+                obs.counter("exec.grouped.groups").inc(len(ordered))
+                size_hist = obs.histogram("exec.grouped.group_size")
+                for group in ordered:
+                    size_hist.observe(len(group))
+            report = ExecutionReport(
+                executor=self.name,
+                cores=self.cores,
+                wall_time=self.scheduling_cost + run.makespan,
+                total_work=total,
+                num_tasks=len(tasks),
+                rounds=1,
             )
-        run = CoreSimulator(self.cores).run_chains(ordered)
-        return ExecutionReport(
-            executor=self.name,
-            cores=self.cores,
-            wall_time=self.scheduling_cost + run.makespan,
-            total_work=total,
-            num_tasks=len(tasks),
-            rounds=1,
-        )
+        record_report(report)
+        return report

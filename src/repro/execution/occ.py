@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.execution.engine import ExecutionReport, TxTask
+from repro import obs
+from repro.execution.engine import ExecutionReport, TxTask, record_report
 from repro.execution.simulator import CoreSimulator
 
 MAX_WAVES = 10_000
@@ -46,33 +47,46 @@ class OCCExecutor:
                 total_work=0.0,
                 num_tasks=0,
             )
-        simulator = CoreSimulator(self.cores)
-        pending = list(tasks)
-        wall = 0.0
-        aborts = 0
-        waves = 0
-        while pending:
-            waves += 1
-            if waves > MAX_WAVES:
-                raise RuntimeError("OCC failed to converge")
-            run = simulator.run_wave(pending)
-            wall += run.makespan
-            committed_writes: set[str] = set()
-            next_round: list[TxTask] = []
-            for task in pending:  # commit in block order
-                touches = (task.reads | task.writes) & committed_writes
-                if touches:
-                    aborts += 1
-                    next_round.append(task)
-                else:
-                    committed_writes |= task.writes
-            pending = next_round
-        return ExecutionReport(
-            executor=self.name,
-            cores=self.cores,
-            wall_time=wall,
-            total_work=total,
-            num_tasks=len(tasks),
-            aborts=aborts,
-            rounds=waves,
-        )
+        with obs.trace_span("exec.occ.run", cores=self.cores) as span:
+            recording = obs.enabled()
+            simulator = CoreSimulator(self.cores)
+            pending = list(tasks)
+            wall = 0.0
+            aborts = 0
+            waves = 0
+            while pending:
+                waves += 1
+                if waves > MAX_WAVES:
+                    raise RuntimeError("OCC failed to converge")
+                if recording:
+                    obs.histogram("exec.occ.queue_depth").observe(
+                        len(pending)
+                    )
+                run = simulator.run_wave(pending)
+                wall += run.makespan
+                committed_writes: set[str] = set()
+                next_round: list[TxTask] = []
+                for task in pending:  # commit in block order
+                    touches = (task.reads | task.writes) & committed_writes
+                    if touches:
+                        aborts += 1
+                        next_round.append(task)
+                    else:
+                        committed_writes |= task.writes
+                pending = next_round
+            if recording:
+                span.set(tasks=len(tasks), aborts=aborts, waves=waves)
+                obs.counter("exec.occ.aborts").inc(aborts)
+                obs.counter("exec.occ.waves").inc(waves)
+                obs.counter("exec.occ.retries").inc(aborts)
+            report = ExecutionReport(
+                executor=self.name,
+                cores=self.cores,
+                wall_time=wall,
+                total_work=total,
+                num_tasks=len(tasks),
+                aborts=aborts,
+                rounds=waves,
+            )
+        record_report(report)
+        return report

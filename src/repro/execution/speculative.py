@@ -16,7 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.execution.engine import ExecutionReport, TxTask, conflict_groups
+from repro import obs
+from repro.execution.engine import (
+    ExecutionReport,
+    TxTask,
+    conflict_groups,
+    record_report,
+)
 from repro.execution.simulator import CoreSimulator
 
 
@@ -55,19 +61,31 @@ class SpeculativeExecutor:
                 total_work=0.0,
                 num_tasks=0,
             )
-        simulator = CoreSimulator(self.cores)
-        phase_one = simulator.run_wave(tasks)
-        _clean, binned = split_conflicted(tasks)
-        phase_two = sum(task.cost for task in binned)
-        return ExecutionReport(
-            executor=self.name,
-            cores=self.cores,
-            wall_time=phase_one.makespan + phase_two,
-            total_work=total,
-            num_tasks=len(tasks),
-            reexecuted=len(binned),
-            rounds=2,
-        )
+        with obs.trace_span(
+            "exec.speculative.run", cores=self.cores
+        ) as span:
+            simulator = CoreSimulator(self.cores)
+            phase_one = simulator.run_wave(tasks)
+            _clean, binned = split_conflicted(tasks)
+            phase_two = sum(task.cost for task in binned)
+            if obs.enabled():
+                span.set(tasks=len(tasks), reexecuted=len(binned))
+                obs.counter("exec.speculative.reexecuted").inc(len(binned))
+                obs.counter("exec.speculative.aborts").inc(len(binned))
+                obs.histogram("exec.speculative.bin_fraction").observe(
+                    len(binned) / len(tasks)
+                )
+            report = ExecutionReport(
+                executor=self.name,
+                cores=self.cores,
+                wall_time=phase_one.makespan + phase_two,
+                total_work=total,
+                num_tasks=len(tasks),
+                reexecuted=len(binned),
+                rounds=2,
+            )
+        record_report(report)
+        return report
 
 
 @dataclass
@@ -101,16 +119,26 @@ class InformedSpeculativeExecutor:
                 total_work=0.0,
                 num_tasks=0,
             )
-        clean, binned = split_conflicted(tasks)
-        simulator = CoreSimulator(self.cores)
-        phase_one = simulator.run_wave(clean).makespan if clean else 0.0
-        phase_two = sum(task.cost for task in binned)
-        return ExecutionReport(
-            executor=self.name,
-            cores=self.cores,
-            wall_time=self.preprocessing_cost + phase_one + phase_two,
-            total_work=total,
-            num_tasks=len(tasks),
-            reexecuted=0,
-            rounds=2,
-        )
+        with obs.trace_span(
+            "exec.speculative-informed.run", cores=self.cores
+        ) as span:
+            clean, binned = split_conflicted(tasks)
+            simulator = CoreSimulator(self.cores)
+            phase_one = simulator.run_wave(clean).makespan if clean else 0.0
+            phase_two = sum(task.cost for task in binned)
+            if obs.enabled():
+                span.set(tasks=len(tasks), binned=len(binned))
+                obs.counter("exec.speculative-informed.binned").inc(
+                    len(binned)
+                )
+            report = ExecutionReport(
+                executor=self.name,
+                cores=self.cores,
+                wall_time=self.preprocessing_cost + phase_one + phase_two,
+                total_work=total,
+                num_tasks=len(tasks),
+                reexecuted=0,
+                rounds=2,
+            )
+        record_report(report)
+        return report

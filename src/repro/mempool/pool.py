@@ -24,6 +24,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Generic, TypeVar
 
+from repro import obs
+
 PayloadT = TypeVar("PayloadT")
 
 
@@ -116,8 +118,10 @@ class Mempool(Generic[PayloadT]):
                 insufficient replacement bid.
         """
         if entry.tx_hash in self._entries:
+            obs.counter("mempool.rejected", reason="duplicate").inc()
             raise AdmissionError(f"duplicate transaction {entry.tx_hash}")
         if entry.fee_rate < self.min_fee_rate:
+            obs.counter("mempool.rejected", reason="fee_floor").inc()
             raise AdmissionError(
                 f"fee rate {entry.fee_rate:.3f} below floor "
                 f"{self.min_fee_rate:.3f}"
@@ -128,15 +132,21 @@ class Mempool(Generic[PayloadT]):
                 incumbent = self._entries[incumbent_hash]
                 required = incumbent.fee_rate * self.replacement_factor
                 if entry.fee_rate < required:
+                    obs.counter("mempool.rejected", reason="rbf_bid").inc()
                     raise AdmissionError(
                         "replacement bid too low: "
                         f"{entry.fee_rate:.3f} < required {required:.3f}"
                     )
                 self._remove(incumbent_hash)
+                obs.counter("mempool.replaced").inc()
         self._entries[entry.tx_hash] = entry
         if entry.replacement_key:
             self._by_replacement[entry.replacement_key] = entry.tx_hash
         self._evict_to_capacity()
+        obs.counter("mempool.admitted").inc()
+        if obs.enabled():
+            obs.gauge("mempool.size").set(len(self._entries))
+            obs.gauge("mempool.weight").set(self.total_weight)
 
     def _remove(self, tx_hash: str) -> PoolEntry[PayloadT] | None:
         entry = self._entries.pop(tx_hash, None)
@@ -158,6 +168,8 @@ class Mempool(Generic[PayloadT]):
                 break
             self._remove(entry.tx_hash)
             evicted.append(entry)
+        if evicted:
+            obs.counter("mempool.evicted").inc(len(evicted))
         return evicted
 
     # -- packing --------------------------------------------------------------
@@ -192,7 +204,16 @@ class Mempool(Generic[PayloadT]):
         # Keep the estimator window bounded.
         if len(self._recent_rates) > 10_000:
             self._recent_rates = self._recent_rates[-5_000:]
+        self._note_packed(selected)
         return selected
+
+    def _note_packed(self, selected: list[PoolEntry[PayloadT]]) -> None:
+        if not obs.enabled():
+            return
+        obs.counter("mempool.packed_blocks").inc()
+        obs.counter("mempool.packed_txs").inc(len(selected))
+        obs.gauge("mempool.size").set(len(self._entries))
+        obs.gauge("mempool.weight").set(self.total_weight)
 
     def pack_block_with_dependencies(
         self,
@@ -242,6 +263,7 @@ class Mempool(Generic[PayloadT]):
         for entry in selected:
             self._remove(entry.tx_hash)
             self._recent_rates.append(entry.fee_rate)
+        self._note_packed(selected)
         return selected
 
     # -- introspection ----------------------------------------------------------

@@ -1,0 +1,161 @@
+"""Instrumentation layer: metrics registry, span tracer, exporters.
+
+The rest of the codebase talks to this package through four module
+functions that dispatch to a process-global observability state::
+
+    from repro import obs
+
+    with obs.trace_span("tdg.build", model="utxo") as span:
+        ...
+        span.set(edges=n)
+    obs.counter("mempool.admitted").inc()
+    if obs.enabled():                     # guard anything non-trivial
+        obs.histogram("exec.occ.queue_depth").observe(len(pending))
+
+By default the state holds :data:`NOOP_REGISTRY` and
+:data:`NOOP_TRACER`, so every call above is a near-free no-op and the
+tier-1 timings are unaffected.  Recording is switched on either for a
+scope::
+
+    with obs.instrumented() as state:
+        run_pipeline()
+    state.registry.snapshot(); state.tracer.spans()
+
+or process-wide with :func:`install` / :func:`uninstall` (the CLI
+``profile`` subcommand and the bench harness use the scoped form).
+Tests swap in private registries the same way, so they never observe
+each other's counts.
+
+Naming scheme (full catalogue in ``docs/observability.md``):
+
+* ``tdg.*`` — dependency-graph construction,
+* ``pipeline.*`` — per-chain / per-block analysis spans,
+* ``exec.<engine>.*`` — executor runs, aborts, retries, utilization,
+* ``mempool.*`` — admission, eviction, packing,
+* ``gossip.*`` — propagation message counts and hop depths.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.obs.metrics import (
+    NOOP_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopMetricsRegistry,
+)
+from repro.obs.tracer import NOOP_TRACER, NoopTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopMetricsRegistry",
+    "NoopTracer",
+    "ObservabilityState",
+    "Span",
+    "Tracer",
+    "counter",
+    "enabled",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "install",
+    "instrumented",
+    "trace_span",
+    "uninstall",
+]
+
+
+@dataclass(frozen=True)
+class ObservabilityState:
+    """One (registry, tracer) pair — what ``instrumented`` yields."""
+
+    registry: MetricsRegistry
+    tracer: Tracer
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled or self.tracer.enabled
+
+
+_NOOP_STATE = ObservabilityState(registry=NOOP_REGISTRY, tracer=NOOP_TRACER)
+_state: ObservabilityState = _NOOP_STATE
+
+
+def enabled() -> bool:
+    """True when a recording registry or tracer is installed.
+
+    Hot paths use this to guard instrumentation that would otherwise
+    compute something (an extra pass, a division) even when disabled.
+    """
+    return _state.enabled
+
+
+def get_registry() -> MetricsRegistry:
+    return _state.registry
+
+
+def get_tracer() -> Tracer:
+    return _state.tracer
+
+
+def install(
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> ObservabilityState:
+    """Install a recording state process-wide; returns it."""
+    global _state
+    _state = ObservabilityState(
+        registry=registry if registry is not None else MetricsRegistry(),
+        tracer=tracer if tracer is not None else Tracer(),
+    )
+    return _state
+
+
+def uninstall() -> None:
+    """Restore the zero-cost no-op state."""
+    global _state
+    _state = _NOOP_STATE
+
+
+@contextmanager
+def instrumented(
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> Iterator[ObservabilityState]:
+    """Scoped recording: install on entry, restore the prior state after."""
+    global _state
+    previous = _state
+    state = install(registry=registry, tracer=tracer)
+    try:
+        yield state
+    finally:
+        _state = previous
+
+
+# -- dispatching helpers (the only API instrumented modules call) ------------
+
+
+def trace_span(name: str, **attrs: object):
+    """Open a span on the current tracer (no-op context when disabled)."""
+    return _state.tracer.span(name, **attrs)
+
+
+def counter(name: str, **labels: object) -> Counter:
+    return _state.registry.counter(name, **labels)
+
+
+def gauge(name: str, **labels: object) -> Gauge:
+    return _state.registry.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: object) -> Histogram:
+    return _state.registry.histogram(name, **labels)

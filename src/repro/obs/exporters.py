@@ -1,0 +1,236 @@
+"""Exporters: JSON-lines traces, Prometheus text, summary tables.
+
+Three consumers, three formats:
+
+* :func:`write_trace_jsonl` — machine-readable dump for the perf
+  trajectory: one JSON object per completed span, then a final
+  ``{"type": "metrics", ...}`` snapshot line.  :func:`read_trace_jsonl`
+  round-trips it for tests and downstream tooling.
+* :func:`render_prometheus` — the standard text exposition format, so
+  snapshots can be scraped or diffed with existing tooling.
+* :func:`render_summary` — human-readable tables (reusing the bench
+  report renderer) aggregating spans by name and listing counters.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.report import render_table
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+TRACE_SCHEMA_VERSION = 1
+
+
+# -- JSON lines ---------------------------------------------------------------
+
+
+def span_record(span: Span) -> dict[str, object]:
+    """The JSONL dict form of one span."""
+    return {
+        "type": "span",
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start_ns": span.start_ns,
+        "duration_ns": span.duration_ns,
+        "attrs": span.attrs,
+    }
+
+
+def span_from_record(record: dict[str, object]) -> Span:
+    """Inverse of :func:`span_record`."""
+    return Span(
+        name=str(record["name"]),
+        span_id=int(record["span_id"]),  # type: ignore[arg-type]
+        parent_id=(
+            None if record.get("parent_id") is None
+            else int(record["parent_id"])  # type: ignore[arg-type]
+        ),
+        start_ns=int(record["start_ns"]),  # type: ignore[arg-type]
+        duration_ns=int(record["duration_ns"]),  # type: ignore[arg-type]
+        attrs=dict(record.get("attrs") or {}),  # type: ignore[arg-type]
+    )
+
+
+def write_trace_jsonl(
+    path: str | Path, tracer: Tracer, registry: MetricsRegistry
+) -> int:
+    """Write spans then a final metrics-snapshot line; returns span count.
+
+    The first line is a header carrying the schema version, so readers
+    can reject traces written by a future incompatible format.
+    """
+    spans = tracer.spans()
+    lines = [json.dumps({"type": "header",
+                         "schema_version": TRACE_SCHEMA_VERSION})]
+    lines.extend(json.dumps(span_record(span)) for span in spans)
+    lines.append(json.dumps({"type": "metrics",
+                             "snapshot": registry.snapshot()}))
+    Path(path).write_text("\n".join(lines) + "\n")
+    return len(spans)
+
+
+def read_trace_jsonl(
+    path: str | Path,
+) -> tuple[list[Span], dict[str, dict[str, object]]]:
+    """Parse a trace file back into (spans, metrics snapshot)."""
+    spans: list[Span] = []
+    snapshot: dict[str, dict[str, object]] = {
+        "counters": {}, "gauges": {}, "histograms": {},
+    }
+    for line_number, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind == "header":
+            version = record.get("schema_version")
+            if version != TRACE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"unsupported trace schema version {version!r}"
+                )
+        elif kind == "span":
+            spans.append(span_from_record(record))
+        elif kind == "metrics":
+            snapshot = record["snapshot"]
+        else:
+            raise ValueError(
+                f"line {line_number}: unknown record type {kind!r}"
+            )
+    return spans, snapshot
+
+
+# -- Prometheus text format ---------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """Dotted names become underscore names (``exec.occ.aborts`` ->
+    ``exec_occ_aborts``) per the exposition-format charset."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: tuple[tuple[str, str], ...],
+                 extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = labels + extra
+    if not items:
+        return ""
+    rendered = ",".join(f'{_prom_name(key)}="{value}"'
+                        for key, value in items)
+    return f"{{{rendered}}}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Histograms are exported as summaries: ``<name>{quantile="0.5"}``
+    lines plus ``_sum`` and ``_count``.
+    """
+    lines: list[str] = []
+    for metric in registry.iter_metrics():
+        name = _prom_name(metric.name)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(
+                f"{name}{_prom_labels(metric.labels)} {metric.value:g}"
+            )
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(
+                f"{name}{_prom_labels(metric.labels)} {metric.value:g}"
+            )
+        elif isinstance(metric, Histogram):
+            summary = metric.summary()
+            lines.append(f"# TYPE {name} summary")
+            for quantile, key in (("0.5", "p50"), ("0.9", "p90"),
+                                  ("0.99", "p99")):
+                label_str = _prom_labels(
+                    metric.labels, (("quantile", quantile),)
+                )
+                lines.append(f"{name}{label_str} {summary[key]:g}")
+            base = _prom_labels(metric.labels)
+            lines.append(f"{name}_sum{base} {summary['sum']:g}")
+            lines.append(f"{name}_count{base} {summary['count']:g}")
+    return "\n".join(lines)
+
+
+# -- human-readable summary ---------------------------------------------------
+
+
+def render_summary(tracer: Tracer, registry: MetricsRegistry) -> str:
+    """Aggregate spans by name and list counters/histograms as tables."""
+    parts: list[str] = []
+    spans = tracer.spans()
+    if spans:
+        by_name: dict[str, list[Span]] = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+        rows = []
+        for name in sorted(by_name):
+            durations = sorted(s.duration_ms for s in by_name[name])
+            total = sum(durations)
+            rows.append((
+                name,
+                len(durations),
+                f"{total:.2f}",
+                f"{total / len(durations):.3f}",
+                f"{durations[-1]:.3f}",
+            ))
+        parts.append(render_table(
+            ["span", "count", "total ms", "mean ms", "max ms"],
+            rows,
+            title="spans by name",
+        ))
+    snapshot = registry.snapshot()
+    counters = snapshot["counters"]
+    if counters:
+        parts.append(render_table(
+            ["counter", "value"],
+            [(key, f"{value:g}")
+             for key, value in sorted(counters.items())],
+            title="counters",
+        ))
+    gauges = snapshot["gauges"]
+    if gauges:
+        parts.append(render_table(
+            ["gauge", "value"],
+            [(key, f"{value:g}") for key, value in sorted(gauges.items())],
+            title="gauges",
+        ))
+    histograms = snapshot["histograms"]
+    if histograms:
+        rows = [
+            (key, summary["count"], f"{summary['mean']:.4g}",
+             f"{summary['p50']:.4g}", f"{summary['p90']:.4g}",
+             f"{summary['max']:.4g}")
+            for key, summary in sorted(histograms.items())
+        ]
+        parts.append(render_table(
+            ["histogram", "count", "mean", "p50", "p90", "max"],
+            rows,
+            title="histograms",
+        ))
+    if not parts:
+        return "(no spans or metrics recorded)"
+    return "\n\n".join(parts)
+
+
+def registry_snapshot_json(registry: MetricsRegistry) -> str:
+    """Stable JSON form of a registry snapshot (for bench artifacts)."""
+    return json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "read_trace_jsonl",
+    "registry_snapshot_json",
+    "render_prometheus",
+    "render_summary",
+    "span_from_record",
+    "span_record",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,186 @@
+"""Span-based tracing over ``time.perf_counter_ns``.
+
+A span measures one named region of the pipeline (``tdg.build``,
+``pipeline.block``, ``exec.occ.run``).  Spans nest: the tracer keeps a
+per-thread stack, so a span opened while another is active records it
+as its parent, and the exported trace reconstructs the call tree.
+
+The entry point is the context manager::
+
+    with tracer.span("tdg.build", model="utxo") as span:
+        ...
+        span.set(edges=len(edges))
+
+Span ids are small integers drawn from a process-wide atomic counter —
+deterministic under a fixed workload, which keeps trace files diffable
+between runs.  :class:`NoopTracer` is the disabled variant: its
+``span`` returns a shared reusable context manager that measures
+nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed timed region.
+
+    Attributes:
+        name: dotted region name (see docs/observability.md).
+        span_id: unique id within the tracer.
+        parent_id: enclosing span's id, or None for a root span.
+        start_ns: ``perf_counter_ns`` at entry.
+        duration_ns: elapsed nanoseconds.
+        attrs: user attributes attached at entry or via ``set``.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_ns: int
+    duration_ns: int
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+
+class _ActiveSpan:
+    """Mutable handle yielded while a span is open."""
+
+    __slots__ = ("name", "span_id", "parent_id", "attrs")
+
+    def __init__(self, name: str, span_id: int, parent_id: int | None,
+                 attrs: dict[str, object]):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes discovered while the span is running."""
+        self.attrs.update(attrs)
+
+
+class _SpanContext:
+    """Context manager recording one span into *tracer*."""
+
+    __slots__ = ("_tracer", "_active", "_start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: dict[str, object]):
+        self._tracer = tracer
+        stack = tracer._stack_of_current_thread()
+        parent_id = stack[-1] if stack else None
+        self._active = _ActiveSpan(
+            name, next(tracer._ids), parent_id, attrs
+        )
+        self._start_ns = 0
+
+    def __enter__(self) -> _ActiveSpan:
+        self._tracer._stack_of_current_thread().append(self._active.span_id)
+        self._start_ns = time.perf_counter_ns()
+        return self._active
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_ns = time.perf_counter_ns()
+        stack = self._tracer._stack_of_current_thread()
+        if stack and stack[-1] == self._active.span_id:
+            stack.pop()
+        self._tracer._record(
+            Span(
+                name=self._active.name,
+                span_id=self._active.span_id,
+                parent_id=self._active.parent_id,
+                start_ns=self._start_ns,
+                duration_ns=end_ns - self._start_ns,
+                attrs=self._active.attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects completed spans; thread-safe, nesting-aware."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    def _stack_of_current_thread(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def span(self, name: str, **attrs: object) -> _SpanContext:
+        """Open a nested timed region; use as a context manager."""
+        return _SpanContext(self, name, dict(attrs))
+
+    def spans(self) -> list[Span]:
+        """Completed spans in completion order (children before parents)."""
+        with self._lock:
+            return list(self._spans)
+
+    def roots(self) -> list[Span]:
+        return [span for span in self.spans() if span.parent_id is None]
+
+    def children_of(self, span_id: int) -> list[Span]:
+        return [span for span in self.spans() if span.parent_id == span_id]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+class _NoopSpanContext:
+    """Reusable, stateless context manager measuring nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _ActiveSpan:
+        return _NOOP_ACTIVE
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class _NoopActiveSpan(_ActiveSpan):
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+
+_NOOP_ACTIVE = _NoopActiveSpan("noop", 0, None, {})
+_NOOP_SPAN_CONTEXT = _NoopSpanContext()
+
+
+class NoopTracer(Tracer):
+    """The disabled tracer: ``span`` returns a shared no-op context."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: object) -> _NoopSpanContext:  # type: ignore[override]
+        return _NOOP_SPAN_CONTEXT
+
+    def spans(self) -> list[Span]:
+        return []
+
+
+NOOP_TRACER = NoopTracer()

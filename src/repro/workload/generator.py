@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.pipeline import (
     ChainHistory,
     analyze_account_block,
@@ -73,11 +74,16 @@ def generate_chain(
         data_model="account",
         start_year=profile.start_year,
     )
-    for block, executed in builder.executed_blocks:
-        record, _tdg = analyze_account_block(
-            executed, height=block.height, timestamp=block.header.timestamp
-        )
-        history.append(record)
+    with obs.trace_span(
+        "pipeline.chain", chain=profile.name, model="account"
+    ):
+        for block, executed in builder.executed_blocks:
+            record, _tdg = analyze_account_block(
+                executed,
+                height=block.height,
+                timestamp=block.header.timestamp,
+            )
+            history.append(record)
     return GeneratedChain(
         profile=profile, history=history, account_builder=builder
     )

@@ -12,9 +12,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_unknown_chain_rejected_at_parse(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["analyze", "--chain", "solana"])
+    def test_unknown_chain_exits_with_clear_message(self, capsys):
+        assert main(["analyze", "--chain", "solana"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown chain 'solana'" in err
+        assert "ethereum" in err  # the known names are listed
 
 
 class TestCommands:

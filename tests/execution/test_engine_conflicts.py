@@ -1,0 +1,88 @@
+"""Guard rails for ``TxTask.conflicts_with`` — the relation every
+executor (speculative bins, OCC commit checks, grouped partitioning)
+depends on.  Read/read sharing must NOT conflict; the relation must be
+symmetric for arbitrary read/write sets."""
+
+from __future__ import annotations
+
+import random
+
+from repro.execution.engine import TxTask, conflict_groups
+
+
+def _task(name: str, reads=(), writes=()) -> TxTask:
+    return TxTask(
+        tx_hash=name,
+        reads=frozenset(reads),
+        writes=frozenset(writes),
+    )
+
+
+class TestConflictCases:
+    def test_read_read_does_not_conflict(self):
+        a = _task("a", reads={"x", "y"})
+        b = _task("b", reads={"x", "y"})
+        assert not a.conflicts_with(b)
+        assert not b.conflicts_with(a)
+
+    def test_read_read_does_not_conflict_in_groups(self):
+        # The group partitioner must agree with the pairwise relation.
+        a = _task("a", reads={"x"})
+        b = _task("b", reads={"x"})
+        groups = conflict_groups([a, b])
+        assert sorted(len(group) for group in groups) == [1, 1]
+
+    def test_write_write_conflicts(self):
+        a = _task("a", writes={"x"})
+        b = _task("b", writes={"x"})
+        assert a.conflicts_with(b)
+
+    def test_write_read_conflicts(self):
+        writer = _task("w", writes={"x"})
+        reader = _task("r", reads={"x"})
+        assert writer.conflicts_with(reader)
+        assert reader.conflicts_with(writer)
+
+    def test_disjoint_sets_do_not_conflict(self):
+        a = _task("a", reads={"p"}, writes={"q"})
+        b = _task("b", reads={"r"}, writes={"s"})
+        assert not a.conflicts_with(b)
+
+    def test_conflict_requires_shared_location(self):
+        a = _task("a", reads={"x"}, writes={"y"})
+        b = _task("b", reads={"y"}, writes={"z"})
+        assert a.conflicts_with(b)  # a writes y, b reads y
+
+
+class TestConflictSymmetry:
+    """Property test: a.conflicts_with(b) == b.conflicts_with(a)."""
+
+    LOCATIONS = [f"loc{i}" for i in range(6)]
+
+    def _random_task(self, rng: random.Random, name: str) -> TxTask:
+        reads = {loc for loc in self.LOCATIONS if rng.random() < 0.3}
+        writes = {loc for loc in self.LOCATIONS if rng.random() < 0.3}
+        return _task(name, reads=reads, writes=writes)
+
+    def test_symmetric_over_random_pairs(self):
+        rng = random.Random(2020)
+        for trial in range(500):
+            a = self._random_task(rng, f"a{trial}")
+            b = self._random_task(rng, f"b{trial}")
+            assert a.conflicts_with(b) == b.conflicts_with(a), (
+                f"asymmetric at trial {trial}: "
+                f"a(reads={sorted(a.reads)}, writes={sorted(a.writes)}) vs "
+                f"b(reads={sorted(b.reads)}, writes={sorted(b.writes)})"
+            )
+
+    def test_symmetry_matches_explicit_definition(self):
+        # conflicts iff one's writes intersect the other's reads|writes.
+        rng = random.Random(7)
+        for trial in range(200):
+            a = self._random_task(rng, f"a{trial}")
+            b = self._random_task(rng, f"b{trial}")
+            expected = bool(
+                (a.writes & (b.reads | b.writes))
+                | (b.writes & (a.reads | a.writes))
+            )
+            assert a.conflicts_with(b) == expected

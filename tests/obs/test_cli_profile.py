@@ -1,0 +1,126 @@
+"""Tier-1-adjacent smoke test: ``repro.cli profile`` runs end-to-end
+and emits a schema-valid JSONL trace (the CI smoke step in test form)."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.cli import main
+from repro.obs.exporters import TRACE_SCHEMA_VERSION, read_trace_jsonl
+
+REQUIRED_SPAN_FIELDS = {
+    "type", "name", "span_id", "parent_id", "start_ns", "duration_ns",
+    "attrs",
+}
+
+
+def _run_profile(tmp_path, chain="ethereum", blocks="5"):
+    trace_path = tmp_path / "spans.jsonl"
+    code = main([
+        "profile", "--chain", chain, "--blocks", blocks,
+        "--seed", "0", "--scale", "0.5",
+        "--trace-out", str(trace_path),
+    ])
+    return code, trace_path
+
+
+class TestProfileCommand:
+    def test_end_to_end_jsonl_schema(self, tmp_path, capsys):
+        code, trace_path = _run_profile(tmp_path)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spans by name" in out
+        assert "counters" in out
+
+        lines = trace_path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+
+        # Header first, metrics snapshot last, spans in between.
+        assert records[0]["type"] == "header"
+        assert records[0]["schema_version"] == TRACE_SCHEMA_VERSION
+        assert records[-1]["type"] == "metrics"
+        span_records = [r for r in records if r["type"] == "span"]
+        assert span_records, "profile wrote no spans"
+        for record in span_records:
+            assert REQUIRED_SPAN_FIELDS <= set(record)
+            assert isinstance(record["span_id"], int)
+            assert record["duration_ns"] >= 0
+
+        # The acceptance criteria's required span families.
+        names = {record["name"] for record in span_records}
+        assert "pipeline.block" in names
+        assert "tdg.build" in names
+        assert any(name.startswith("exec.") for name in names)
+
+        # Nesting survived export: some span has a parent.
+        parents = {r["span_id"] for r in span_records}
+        assert any(
+            r["parent_id"] in parents
+            for r in span_records
+            if r["parent_id"] is not None
+        )
+
+        # Final snapshot carries the speculative abort/retry counters.
+        counters = records[-1]["snapshot"]["counters"]
+        assert "exec.speculative.reexecuted" in counters
+        assert "exec.speculative.aborts" in counters
+        assert counters["pipeline.blocks{model=account}"] == 5.0
+
+    def test_round_trips_through_reader(self, tmp_path):
+        code, trace_path = _run_profile(tmp_path, blocks="3")
+        assert code == 0
+        spans, snapshot = read_trace_jsonl(trace_path)
+        assert spans and snapshot["counters"]
+        roots = [span for span in spans if span.parent_id is None]
+        assert roots, "no root span in trace"
+
+    def test_utxo_chain_profiles_too(self, tmp_path):
+        code, trace_path = _run_profile(
+            tmp_path, chain="dogecoin", blocks="4"
+        )
+        assert code == 0
+        _spans, snapshot = read_trace_jsonl(trace_path)
+        assert snapshot["counters"]["tdg.builds{model=utxo}"] == 4.0
+
+    def test_prometheus_out(self, tmp_path, capsys):
+        trace_path = tmp_path / "spans.jsonl"
+        prom_path = tmp_path / "metrics.prom"
+        code = main([
+            "profile", "--chain", "ethereum", "--blocks", "3",
+            "--scale", "0.5",
+            "--trace-out", str(trace_path),
+            "--prometheus-out", str(prom_path),
+        ])
+        assert code == 0
+        text = prom_path.read_text()
+        assert "# TYPE exec_runs counter" in text
+
+    def test_unknown_chain_exits_2_with_message(self, tmp_path, capsys):
+        code, _ = _run_profile(tmp_path, chain="solana")
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown chain 'solana'" in err
+        assert "ethereum" in err
+
+    def test_bad_cores_rejected(self, tmp_path, capsys):
+        trace_path = tmp_path / "spans.jsonl"
+        code = main([
+            "profile", "--chain", "ethereum", "--blocks", "2",
+            "--cores", "0", "--trace-out", str(trace_path),
+        ])
+        assert code == 2
+        assert "--cores" in capsys.readouterr().err
+
+    def test_unwritable_trace_path_exits_2(self, tmp_path, capsys):
+        code = main([
+            "profile", "--chain", "ethereum", "--blocks", "2",
+            "--trace-out", str(tmp_path / "missing" / "x.jsonl"),
+        ])
+        assert code == 2
+        assert "cannot write trace file" in capsys.readouterr().err
+
+    def test_profile_leaves_global_state_disabled(self, tmp_path):
+        code, _ = _run_profile(tmp_path, blocks="2")
+        assert code == 0
+        assert not obs.enabled()

@@ -1,0 +1,171 @@
+"""Metric primitives: counters, gauges, histogram percentile math,
+label keying, registry snapshots, and the thread-safety smoke test."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    NOOP_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    NoopMetricsRegistry,
+    label_key,
+    render_metric_key,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.b")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("a").inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(7)
+        gauge.inc(3)
+        assert gauge.value == 10.0
+
+    def test_same_name_and_labels_resolve_to_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("exec.runs", executor="occ", cores=8)
+        b = registry.counter("exec.runs", cores=8, executor="occ")
+        assert a is b  # label order must not matter
+        assert registry.counter("exec.runs", cores=4) is not a
+
+    def test_same_name_different_kind_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.gauge("x").set(5)
+        assert registry.counter("x").value == 1.0
+        assert registry.gauge("x").value == 5.0
+
+
+class TestLabelRendering:
+    def test_label_key_sorts_and_stringifies(self):
+        assert label_key({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+
+    def test_render_metric_key(self):
+        assert render_metric_key("n", ()) == "n"
+        key = render_metric_key("n", (("a", "1"), ("b", "2")))
+        assert key == "n{a=1,b=2}"
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram(self):
+        hist = Histogram("h")
+        assert hist.percentile(0.5) == 0.0
+        assert hist.summary()["count"] == 0
+
+    def test_single_value(self):
+        hist = Histogram("h")
+        hist.observe(42.0)
+        for p in (0.0, 0.5, 1.0):
+            assert hist.percentile(p) == 42.0
+
+    def test_interpolated_percentiles(self):
+        hist = Histogram("h")
+        for value in (1, 2, 3, 4):
+            hist.observe(value)
+        assert hist.percentile(0.0) == 1.0
+        assert hist.percentile(1.0) == 4.0
+        assert hist.percentile(0.5) == 2.5
+        assert hist.percentile(0.25) == pytest.approx(1.75)
+
+    def test_percentiles_are_order_independent(self):
+        forward, backward = Histogram("f"), Histogram("b")
+        for value in range(100):
+            forward.observe(value)
+            backward.observe(99 - value)
+        for p in (0.1, 0.5, 0.9, 0.99):
+            assert forward.percentile(p) == backward.percentile(p)
+
+    def test_summary_fields(self):
+        hist = Histogram("h")
+        for value in range(1, 11):
+            hist.observe(float(value))
+        summary = hist.summary()
+        assert summary["count"] == 10
+        assert summary["sum"] == 55.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 10.0
+        assert summary["mean"] == 5.5
+        assert summary["p50"] == 5.5
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(1.5)
+
+
+class TestSnapshot:
+    def test_snapshot_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("c", k="v").inc(3)
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c{k=v}": 3.0}
+        assert snapshot["gauges"] == {"g": 2.0}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        per_thread, num_threads = 10_000, 8
+
+        def work():
+            for _ in range(per_thread):
+                registry.counter("hits").inc()
+                registry.histogram("obs").observe(1.0)
+
+        threads = [threading.Thread(target=work)
+                   for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("hits").value == per_thread * num_threads
+        assert registry.histogram("obs").count == per_thread * num_threads
+
+    def test_concurrent_registration_yields_one_metric(self):
+        registry = MetricsRegistry()
+        results = []
+
+        def register():
+            results.append(registry.counter("shared", a=1))
+
+        threads = [threading.Thread(target=register) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(metric is results[0] for metric in results)
+
+
+class TestNoopRegistry:
+    def test_returns_shared_singletons_and_records_nothing(self):
+        registry = NoopMetricsRegistry()
+        a = registry.counter("anything", label="x")
+        b = registry.counter("other")
+        assert a is b
+        a.inc(100)
+        assert a.value == 0.0
+        registry.gauge("g").set(9)
+        registry.histogram("h").observe(1.0)
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_disabled_flag(self):
+        assert NOOP_REGISTRY.enabled is False
+        assert MetricsRegistry().enabled is True

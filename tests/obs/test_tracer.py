@@ -1,0 +1,167 @@
+"""Tracer behaviour: nesting, per-thread stacks, the global state
+switch, and the no-op overhead guarantee."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NOOP_TRACER, Tracer
+
+
+class TestNesting:
+    def test_parent_child_ids(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                assert child.parent_id == parent.span_id
+        spans = tracer.spans()
+        assert [span.name for span in spans] == ["child", "parent"]
+        child_span, parent_span = spans
+        assert parent_span.parent_id is None
+        assert child_span.parent_id == parent_span.span_id
+        assert child_span.span_id != parent_span.span_id
+
+    def test_three_levels_and_siblings(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        by_name = {span.name: span for span in tracer.spans()}
+        assert by_name["a"].parent_id == by_name["root"].span_id
+        assert by_name["b"].parent_id == by_name["root"].span_id
+        assert by_name["a1"].parent_id == by_name["a"].span_id
+        assert tracer.children_of(by_name["root"].span_id) == [
+            by_name["a"], by_name["b"],
+        ]
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.002)
+        by_name = {span.name: span for span in tracer.spans()}
+        assert by_name["inner"].duration_ns > 0
+        assert by_name["outer"].duration_ns >= by_name["inner"].duration_ns
+
+    def test_attrs_at_open_and_via_set(self):
+        tracer = Tracer()
+        with tracer.span("s", height=7) as span:
+            span.set(edges=3)
+        (recorded,) = tracer.spans()
+        assert recorded.attrs == {"height": 7, "edges": 3}
+
+    def test_span_recorded_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [span.name for span in tracer.spans()] == ["failing"]
+        # The stack unwound: a new span is a root again.
+        with tracer.span("after"):
+            pass
+        assert tracer.spans()[-1].parent_id is None
+
+
+class TestThreading:
+    def test_stacks_are_thread_local(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(name: str):
+            with tracer.span(name):
+                barrier.wait()  # both spans open simultaneously
+                with tracer.span(f"{name}.child"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        by_name = {span.name: span for span in tracer.spans()}
+        assert by_name["t0"].parent_id is None
+        assert by_name["t1"].parent_id is None
+        assert by_name["t0.child"].parent_id == by_name["t0"].span_id
+        assert by_name["t1.child"].parent_id == by_name["t1"].span_id
+
+
+class TestGlobalState:
+    def test_default_is_disabled(self):
+        assert not obs.enabled()
+        with obs.trace_span("ignored") as span:
+            span.set(k=1)
+        assert obs.get_tracer().spans() == []
+
+    def test_instrumented_swaps_and_restores(self):
+        assert not obs.enabled()
+        with obs.instrumented() as state:
+            assert obs.enabled()
+            with obs.trace_span("visible"):
+                pass
+            obs.counter("hits").inc()
+        assert not obs.enabled()
+        assert [s.name for s in state.tracer.spans()] == ["visible"]
+        assert state.registry.counter("hits").value == 1.0
+        # After restore, recording is off again.
+        with obs.trace_span("invisible"):
+            pass
+        assert state.tracer.spans()[-1].name == "visible"
+
+    def test_instrumented_accepts_custom_backends(self):
+        registry, tracer = MetricsRegistry(), Tracer()
+        with obs.instrumented(registry=registry, tracer=tracer):
+            obs.counter("c").inc()
+            with obs.trace_span("s"):
+                pass
+        assert registry.counter("c").value == 1.0
+        assert [s.name for s in tracer.spans()] == ["s"]
+
+    def test_instrumented_restores_on_exception(self):
+        try:
+            with obs.instrumented():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not obs.enabled()
+
+    def test_nested_instrumented_restores_outer(self):
+        with obs.instrumented() as outer:
+            with obs.instrumented() as inner:
+                obs.counter("x").inc()
+            assert obs.get_registry() is outer.registry
+            assert inner.registry.counter("x").value == 1.0
+            assert outer.registry.counter("x").value == 0.0
+
+
+class TestNoopOverhead:
+    def test_noop_tracer_records_nothing_and_reuses_context(self):
+        first = NOOP_TRACER.span("a")
+        second = NOOP_TRACER.span("b", k=1)
+        assert first is second  # shared stateless context manager
+        with first as active:
+            active.set(ignored=True)
+        assert NOOP_TRACER.spans() == []
+
+    def test_disabled_instrumentation_is_cheap(self):
+        """200k disabled counter/span touches must stay well under a
+        generous bound — the zero-cost-when-disabled guarantee (the
+        bound is loose to keep CI timing noise from flaking this)."""
+        assert not obs.enabled()
+        start = time.perf_counter()
+        for _ in range(200_000):
+            obs.counter("hot.path").inc()
+        for _ in range(50_000):
+            with obs.trace_span("hot.span"):
+                pass
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0
+        assert obs.get_tracer().spans() == []
