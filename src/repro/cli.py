@@ -10,9 +10,13 @@ Usage (also installed as the ``repro`` console script)::
     python -m repro.cli export --chain bitcoin --out ./data
     python -m repro.cli profile --chain ethereum --blocks 50 \
         --trace-out spans.jsonl
+    python -m repro.cli analyze --chain bitcoin --blocks 500 \
+        --backend process --jobs 8
 
-Every command is deterministic under ``--seed``.  Unknown ``--chain``
-names exit with status 2 and a message listing the known profiles.
+Every command is deterministic under ``--seed`` — including the
+parallel analysis backends (``--backend`` / ``--jobs``), which produce
+output identical to the serial walk.  Unknown ``--chain`` names, bad
+``--jobs`` and friends exit with status 2 and a one-line message.
 """
 
 from __future__ import annotations
@@ -77,6 +81,48 @@ def _add_generation_args(
                         help="number of time buckets in printed series")
 
 
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    from repro.core.parallel import BACKENDS
+
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="serial",
+        help="block-analysis backend (parallel backends produce "
+             "identical output; see docs/parallel_pipeline.md)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker count for the thread/process backends "
+             "(default: CPU count)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="BLOCKS",
+        help="blocks per parallel work unit (default: balanced)",
+    )
+
+
+def _parallel_kwargs(args: argparse.Namespace) -> dict:
+    """Validate --backend/--jobs/--chunk-size into analyze kwargs.
+
+    Raises :class:`CLIError` (exit 2) instead of a raw traceback on
+    ``--jobs 0`` and friends, mirroring the unknown-chain handling.
+    """
+    from repro.core.parallel import validate_backend, validate_jobs
+
+    backend = getattr(args, "backend", "serial")
+    jobs = getattr(args, "jobs", None)
+    try:
+        backend = validate_backend(backend)
+        jobs = validate_jobs(jobs, backend=backend)
+        chunk_size = getattr(args, "chunk_size", None)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(
+                f"chunk size must be >= 1, got {chunk_size}"
+            )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    return {"backend": backend, "jobs": jobs, "chunk_size": chunk_size}
+
+
 def _generate(args: argparse.Namespace):
     profile = _resolve_profile(args.chain)
     return generate_chain(
@@ -84,6 +130,7 @@ def _generate(args: argparse.Namespace):
         num_blocks=args.blocks,
         seed=args.seed,
         scale=args.scale,
+        **_parallel_kwargs(args),
     )
 
 
@@ -144,12 +191,13 @@ def cmd_speedup(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    parallel = _parallel_kwargs(args)
     rows = []
     for name in (args.left, args.right):
         profile = _resolve_profile(name)
         chain = generate_chain(
             profile, num_blocks=args.blocks, seed=args.seed,
-            scale=args.scale,
+            scale=args.scale, **parallel,
         )
         records = chain.history.non_empty_records()
         weight = sum(r.weight_tx for r in records) or 1.0
@@ -242,12 +290,14 @@ def cmd_report(args: argparse.Namespace) -> int:
     write("table1", render_table1(ALL_PROFILES))
 
     print("generating chains (this takes a minute at full volume)...")
+    parallel = _parallel_kwargs(args)
     chains = {
         profile.name: generate_chain(
             profile,
             num_blocks=args.blocks,
             seed=args.seed,
             scale=args.scale,
+            **parallel,
         )
         for profile in ALL_PROFILES
     }
@@ -334,7 +384,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
     summary on stdout.
     """
     from repro import obs
-    from repro.core.pipeline import analyze_account_block, analyze_utxo_block
+    from repro.core.pipeline import (
+        analyze_account_blocks,
+        analyze_utxo_ledger,
+    )
     from repro.execution.engine import (
         tasks_from_account_block,
         tasks_from_utxo_block,
@@ -353,6 +406,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     profile = _resolve_profile(args.chain)
     if args.cores < 1:
         raise CLIError("--cores must be at least 1")
+    parallel = _parallel_kwargs(args)
 
     def run_executors(tasks, height: int) -> None:
         with obs.trace_span("exec.block", height=height):
@@ -363,35 +417,38 @@ def cmd_profile(args: argparse.Namespace) -> int:
     with obs.instrumented() as state:
         with obs.trace_span("profile.run", chain=args.chain,
                             blocks=args.blocks):
+            # Analysis pass first (backend-aware, possibly fanned out
+            # over workers), then the executor replay, which models
+            # simulated cores in-process and therefore stays serial.
             if profile.data_model == "utxo":
                 ledger = build_utxo_chain(
                     profile, num_blocks=args.blocks, seed=args.seed,
                     scale=args.scale,
                 )
-                for block in ledger:
-                    analyze_utxo_block(
-                        block.transactions,
-                        height=block.height,
-                        timestamp=block.header.timestamp,
-                    )
-                    run_executors(
-                        tasks_from_utxo_block(block.transactions),
-                        block.height,
-                    )
+                analyze_utxo_ledger(
+                    ledger, name=profile.name,
+                    start_year=profile.start_year, **parallel,
+                )
+                block_tasks = [
+                    (block.height,
+                     tasks_from_utxo_block(block.transactions))
+                    for block in ledger
+                ]
             else:
                 builder = build_account_chain(
                     profile, num_blocks=args.blocks, seed=args.seed,
                     scale=args.scale,
                 )
-                for block, executed in builder.executed_blocks:
-                    analyze_account_block(
-                        executed,
-                        height=block.height,
-                        timestamp=block.header.timestamp,
-                    )
-                    run_executors(
-                        tasks_from_account_block(executed), block.height
-                    )
+                analyze_account_blocks(
+                    builder.executed_blocks, name=profile.name,
+                    start_year=profile.start_year, **parallel,
+                )
+                block_tasks = [
+                    (block.height, tasks_from_account_block(executed))
+                    for block, executed in builder.executed_blocks
+                ]
+            for height, tasks in block_tasks:
+                run_executors(tasks, height)
 
     try:
         num_spans = write_trace_jsonl(
@@ -435,12 +492,14 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze", help="simulate a chain and print its conflict series"
     )
     _add_generation_args(sub)
+    _add_parallel_args(sub)
     sub.set_defaults(func=cmd_analyze)
 
     sub = subparsers.add_parser(
         "speedup", help="print Fig. 10-style speed-up series"
     )
     _add_generation_args(sub)
+    _add_parallel_args(sub)
     sub.add_argument("--cores", default="4,8,64",
                      help="comma-separated core counts")
     sub.set_defaults(func=cmd_speedup)
@@ -453,6 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--blocks", type=int, default=80)
     sub.add_argument("--seed", type=int, default=0)
     sub.add_argument("--scale", type=float, default=0.5)
+    _add_parallel_args(sub)
     sub.set_defaults(func=cmd_compare)
 
     sub = subparsers.add_parser(
@@ -472,6 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="instrumented run: dump tracing spans and metrics",
     )
     _add_generation_args(sub, default_blocks=50)
+    _add_parallel_args(sub)
     sub.add_argument("--cores", type=int, default=8,
                      help="simulated core count for the executors")
     sub.add_argument("--trace-out", required=True,
@@ -489,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--seed", type=int, default=0)
     sub.add_argument("--scale", type=float, default=0.5)
     sub.add_argument("--buckets", type=int, default=16)
+    _add_parallel_args(sub)
     sub.set_defaults(func=cmd_report)
 
     return parser

@@ -172,19 +172,31 @@ def analyze_account_block(
 
 
 def analyze_utxo_ledger(
-    ledger: Ledger[UTXOTransaction], *, name: str, start_year: float = 0.0
+    ledger: Ledger[UTXOTransaction],
+    *,
+    name: str,
+    start_year: float = 0.0,
+    backend: str = "serial",
+    jobs: int | None = None,
+    chunk_size: int | None = None,
 ) -> ChainHistory:
-    """Run the pipeline over every block of a UTXO ledger."""
-    history = ChainHistory(name=name, data_model="utxo", start_year=start_year)
-    with obs.trace_span("pipeline.chain", chain=name, model="utxo"):
-        for block in ledger:
-            record, _tdg = analyze_utxo_block(
-                block.transactions,
-                height=block.height,
-                timestamp=block.header.timestamp,
-            )
-            history.append(record)
-    return history
+    """Run the pipeline over every block of a UTXO ledger.
+
+    ``backend`` / ``jobs`` / ``chunk_size`` select the analysis backend
+    (see :func:`repro.core.parallel.analyze_chain`); the default walks
+    the chain serially, and every backend yields an identical history.
+    """
+    from repro.core.parallel import analyze_chain
+
+    return analyze_chain(
+        ledger,
+        data_model="utxo",
+        name=name,
+        start_year=start_year,
+        backend=backend,
+        jobs=jobs,
+        chunk_size=chunk_size,
+    )
 
 
 def analyze_account_blocks(
@@ -192,17 +204,22 @@ def analyze_account_blocks(
     *,
     name: str,
     start_year: float = 0.0,
+    backend: str = "serial",
+    jobs: int | None = None,
+    chunk_size: int | None = None,
 ) -> ChainHistory:
-    """Run the pipeline over (block, executed transactions) pairs."""
-    history = ChainHistory(
-        name=name, data_model="account", start_year=start_year
+    """Run the pipeline over (block, executed transactions) pairs.
+
+    Accepts the same backend selection as :func:`analyze_utxo_ledger`.
+    """
+    from repro.core.parallel import analyze_chain
+
+    return analyze_chain(
+        blocks,
+        data_model="account",
+        name=name,
+        start_year=start_year,
+        backend=backend,
+        jobs=jobs,
+        chunk_size=chunk_size,
     )
-    with obs.trace_span("pipeline.chain", chain=name, model="account"):
-        for block, executed in blocks:
-            record, _tdg = analyze_account_block(
-                executed,
-                height=block.height,
-                timestamp=block.header.timestamp,
-            )
-            history.append(record)
-    return history

@@ -14,10 +14,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import obs
 from repro.core.pipeline import (
     ChainHistory,
-    analyze_account_block,
+    analyze_account_blocks,
     analyze_utxo_ledger,
 )
 from repro.workload.account_workload import (
@@ -45,6 +44,9 @@ def generate_chain(
     num_blocks: int = DEFAULT_NUM_BLOCKS,
     seed: int = 0,
     scale: float = 1.0,
+    backend: str = "serial",
+    jobs: int | None = None,
+    chunk_size: int | None = None,
 ) -> GeneratedChain:
     """Build and analyze one chain's synthetic history.
 
@@ -55,6 +57,11 @@ def generate_chain(
             so longer chains cover the same years at finer resolution).
         seed: determinism seed.
         scale: per-block transaction volume multiplier.
+        backend: analysis backend (``serial`` / ``thread`` / ``process``,
+            see :mod:`repro.core.parallel`); chain *generation* stays
+            serial either way, and every backend yields the same history.
+        jobs: worker count for the parallel backends.
+        chunk_size: blocks per parallel work unit.
     """
     if isinstance(profile, str):
         profile = get_profile(profile)
@@ -63,27 +70,25 @@ def generate_chain(
             profile, num_blocks=num_blocks, seed=seed, scale=scale
         )
         history = analyze_utxo_ledger(
-            ledger, name=profile.name, start_year=profile.start_year
+            ledger,
+            name=profile.name,
+            start_year=profile.start_year,
+            backend=backend,
+            jobs=jobs,
+            chunk_size=chunk_size,
         )
         return GeneratedChain(profile=profile, history=history)
     builder = build_account_chain(
         profile, num_blocks=num_blocks, seed=seed, scale=scale
     )
-    history = ChainHistory(
+    history = analyze_account_blocks(
+        builder.executed_blocks,
         name=profile.name,
-        data_model="account",
         start_year=profile.start_year,
+        backend=backend,
+        jobs=jobs,
+        chunk_size=chunk_size,
     )
-    with obs.trace_span(
-        "pipeline.chain", chain=profile.name, model="account"
-    ):
-        for block, executed in builder.executed_blocks:
-            record, _tdg = analyze_account_block(
-                executed,
-                height=block.height,
-                timestamp=block.header.timestamp,
-            )
-            history.append(record)
     return GeneratedChain(
         profile=profile, history=history, account_builder=builder
     )
@@ -95,6 +100,8 @@ def generate_all_chains(
     seed: int = 0,
     scale: float = 1.0,
     names: tuple[str, ...] | None = None,
+    backend: str = "serial",
+    jobs: int | None = None,
 ) -> dict[str, GeneratedChain]:
     """Generate every profile (or the named subset); keyed by chain name."""
     from repro.workload.profiles import ALL_PROFILES
@@ -106,7 +113,8 @@ def generate_all_chains(
     ]
     return {
         profile.name: generate_chain(
-            profile, num_blocks=num_blocks, seed=seed, scale=scale
+            profile, num_blocks=num_blocks, seed=seed, scale=scale,
+            backend=backend, jobs=jobs,
         )
         for profile in selected
     }

@@ -19,6 +19,47 @@ class TestParser:
         assert "ethereum" in err  # the known names are listed
 
 
+class TestParallelFlags:
+    def test_analyze_process_backend_matches_serial_output(self, capsys):
+        args = ["analyze", "--chain", "dogecoin", "--blocks", "8",
+                "--buckets", "4", "--seed", "3"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(
+            args + ["--backend", "process", "--jobs", "2"]
+        ) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_jobs_zero_exits_2_with_clear_message(self, capsys):
+        code = main([
+            "analyze", "--chain", "dogecoin", "--blocks", "4",
+            "--jobs", "0",
+        ])
+        assert code == 2
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
+    def test_negative_jobs_rejected_on_compare(self, capsys):
+        code = main([
+            "compare", "--left", "bitcoin", "--right", "bitcoin_cash",
+            "--blocks", "4", "--jobs", "-1",
+        ])
+        assert code == 2
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--chain", "dogecoin", "--backend", "warp"])
+        assert excinfo.value.code == 2
+
+    def test_chunk_size_zero_exits_2(self, capsys):
+        code = main([
+            "analyze", "--chain", "dogecoin", "--blocks", "4",
+            "--backend", "thread", "--chunk-size", "0",
+        ])
+        assert code == 2
+        assert "chunk size must be >= 1" in capsys.readouterr().err
+
+
 class TestCommands:
     def test_table1(self, capsys):
         assert main(["table1"]) == 0

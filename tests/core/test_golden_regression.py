@@ -1,0 +1,119 @@
+"""Golden regression: the pipeline must reproduce checked-in numbers.
+
+``golden/chain_metrics.json`` holds the full per-block metrics of two
+tiny fixed-seed chains (one UTXO, one account), serialised in a stable
+format.  The tests regenerate the chains and assert the rendered JSON
+matches the fixture *byte for byte*, under both the serial and the
+process backends — so a future refactor of the workload builders, the
+TDG, the metrics or the parallel fan-out cannot silently drift the
+paper's numbers.
+
+To regenerate the fixture after an *intentional* change::
+
+    PYTHONPATH=src python tests/core/test_golden_regression.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import BlockRecord, ChainHistory
+from repro.workload.generator import generate_chain
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "chain_metrics.json"
+
+# Small and fixed forever: cheap to regenerate in every test run, rich
+# enough (conflicts, internal txs, gas weighting) to catch drift.
+GOLDEN_CHAINS = (
+    ("bitcoin", dict(num_blocks=10, seed=2020, scale=0.2)),
+    ("ethereum", dict(num_blocks=8, seed=2020, scale=0.4)),
+)
+
+
+def record_as_dict(record: BlockRecord) -> dict:
+    metrics = record.metrics
+    return {
+        "height": record.height,
+        "timestamp": record.timestamp,
+        "num_transactions": record.num_transactions,
+        "num_internal": record.num_internal,
+        "num_input_txos": record.num_input_txos,
+        "gas_used": record.gas_used,
+        "size_bytes": record.size_bytes,
+        "metrics": {
+            "num_transactions": metrics.num_transactions,
+            "num_conflicted": metrics.num_conflicted,
+            "lcc_size": metrics.lcc_size,
+            "total_weight": metrics.total_weight,
+            "conflicted_weight": metrics.conflicted_weight,
+            "lcc_weight": metrics.lcc_weight,
+        },
+    }
+
+
+def history_as_dict(history: ChainHistory) -> dict:
+    return {
+        "name": history.name,
+        "data_model": history.data_model,
+        "start_year": history.start_year,
+        "records": [record_as_dict(record) for record in history.records],
+    }
+
+
+def render_golden(**analyze_kwargs) -> str:
+    """Build the golden chains and render their histories stably."""
+    payload = {
+        name: history_as_dict(
+            generate_chain(name, **args, **analyze_kwargs).history
+        )
+        for name, args in GOLDEN_CHAINS
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+class TestGoldenRegression:
+    def test_fixture_exists(self):
+        assert GOLDEN_PATH.is_file(), (
+            "golden fixture missing — regenerate with "
+            "`PYTHONPATH=src python tests/core/test_golden_regression.py"
+            " --regen`"
+        )
+
+    def test_serial_backend_reproduces_fixture_bytes(self):
+        assert render_golden(backend="serial") == GOLDEN_PATH.read_text()
+
+    def test_process_backend_reproduces_fixture_bytes(self):
+        assert (
+            render_golden(backend="process", jobs=2, chunk_size=3)
+            == GOLDEN_PATH.read_text()
+        )
+
+    def test_thread_backend_reproduces_fixture_bytes(self):
+        assert (
+            render_golden(backend="thread", jobs=3)
+            == GOLDEN_PATH.read_text()
+        )
+
+    def test_fixture_is_nontrivial(self):
+        payload = json.loads(GOLDEN_PATH.read_text())
+        assert set(payload) == {"bitcoin", "ethereum"}
+        eth = payload["ethereum"]["records"]
+        assert any(r["metrics"]["num_conflicted"] > 0 for r in eth)
+        assert any(r["num_internal"] > 0 for r in eth)
+        assert any(r["gas_used"] > 0 for r in eth)
+        btc = payload["bitcoin"]["records"]
+        assert any(r["num_input_txos"] > 0 for r in btc)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(render_golden(backend="serial"))
+        print(f"wrote {GOLDEN_PATH}")
+    else:
+        print(__doc__)

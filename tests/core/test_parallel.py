@@ -1,0 +1,290 @@
+"""Equivalence harness for the parallel block-analysis backend.
+
+The purity contract of :mod:`repro.core.parallel` — per-block analysis
+reads only that block's transactions — implies a strong invariant: the
+serial, thread and process backends must produce *equal*
+``BlockRecord`` sequences for every chain, worker count and chunk size.
+These tests enforce the invariant on seeded-random UTXO and account
+chains, exercise the chunking helpers, and pin down the clear-error
+contract (``ValueError`` on bad ``jobs`` / ``backend`` instead of a raw
+traceback).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.components import (
+    build_adjacency,
+    components_as_partition,
+    connected_components_bfs,
+    connected_components_union_find,
+)
+from repro.core.parallel import (
+    BACKENDS,
+    BlockInput,
+    account_block_inputs,
+    analyze_chain,
+    chunk_bounds,
+    default_chunk_size,
+    utxo_block_inputs,
+    validate_backend,
+    validate_chunk_size,
+    validate_jobs,
+)
+from repro.core.pipeline import analyze_account_blocks, analyze_utxo_ledger
+from repro.workload.account_workload import build_account_chain
+from repro.workload.profiles import BITCOIN, ETHEREUM
+from repro.workload.utxo_workload import build_utxo_chain
+
+
+def _serial_records(inputs, data_model):
+    history = analyze_chain(
+        inputs, data_model=data_model, name="ref", backend="serial"
+    )
+    return history.records
+
+
+# -- chunking helpers ---------------------------------------------------------
+
+
+class TestChunking:
+    def test_bounds_cover_range_exactly(self):
+        for num_blocks in (0, 1, 5, 17, 100):
+            for chunk_size in (1, 3, 7, 100):
+                bounds = chunk_bounds(num_blocks, chunk_size)
+                covered = [
+                    i for start, stop in bounds for i in range(start, stop)
+                ]
+                assert covered == list(range(num_blocks))
+
+    def test_bounds_respect_chunk_size(self):
+        bounds = chunk_bounds(17, 5)
+        assert bounds == [(0, 5), (5, 10), (10, 15), (15, 17)]
+
+    def test_default_chunk_size_balances_workers(self):
+        # ~4 chunks per worker, never below one block per chunk.
+        assert default_chunk_size(1000, 4) == 63
+        assert default_chunk_size(3, 8) == 1
+        assert default_chunk_size(0, 4) == 1
+
+    @given(
+        num_blocks=st.integers(min_value=0, max_value=500),
+        chunk_size=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounds_partition_property(self, num_blocks, chunk_size):
+        bounds = chunk_bounds(num_blocks, chunk_size)
+        assert sum(stop - start for start, stop in bounds) == num_blocks
+        for (_, stop_a), (start_b, _) in zip(bounds, bounds[1:]):
+            assert stop_a == start_b
+
+
+# -- argument validation ------------------------------------------------------
+
+
+class TestValidation:
+    def test_unknown_backend_is_a_clear_value_error(self):
+        with pytest.raises(ValueError, match="unknown backend 'gpu'"):
+            validate_backend("gpu")
+
+    @pytest.mark.parametrize("jobs", [0, -1, -100])
+    def test_jobs_below_one_rejected(self, jobs):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            validate_jobs(jobs)
+
+    def test_non_integer_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be an integer"):
+            validate_jobs(2.5)  # type: ignore[arg-type]
+
+    def test_jobs_defaults(self):
+        assert validate_jobs(None, backend="serial") == 1
+        assert validate_jobs(None, backend="process") >= 1
+        assert validate_jobs(3, backend="process") == 3
+
+    @pytest.mark.parametrize("chunk_size", [0, -2])
+    def test_chunk_size_below_one_rejected(self, chunk_size):
+        with pytest.raises(ValueError, match="chunk_size must be >= 1"):
+            validate_chunk_size(chunk_size, num_blocks=10, jobs=2)
+
+    def test_analyze_chain_rejects_bad_args(self, small_bitcoin_ledger):
+        with pytest.raises(ValueError, match="unknown backend"):
+            analyze_chain(
+                small_bitcoin_ledger, data_model="utxo", name="btc",
+                backend="warp",
+            )
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            analyze_chain(
+                small_bitcoin_ledger, data_model="utxo", name="btc",
+                jobs=0,
+            )
+        with pytest.raises(ValueError, match="unknown data model"):
+            analyze_chain([], data_model="nosql", name="x")
+
+    def test_pipeline_entry_points_propagate_the_error(
+        self, small_bitcoin_ledger, small_ethereum_builder
+    ):
+        with pytest.raises(ValueError, match="unknown backend"):
+            analyze_utxo_ledger(
+                small_bitcoin_ledger, name="btc", backend="warp"
+            )
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            analyze_account_blocks(
+                small_ethereum_builder.executed_blocks, name="eth",
+                backend="process", jobs=-3,
+            )
+
+
+# -- backend equivalence on the shared fixtures -------------------------------
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("jobs,chunk_size", [
+        (1, None), (2, 1), (3, 7), (2, 1000),
+    ])
+    def test_utxo_records_identical(
+        self, small_bitcoin_ledger, backend, jobs, chunk_size
+    ):
+        inputs = utxo_block_inputs(small_bitcoin_ledger)
+        reference = _serial_records(inputs, "utxo")
+        history = analyze_chain(
+            inputs, data_model="utxo", name="btc", backend=backend,
+            jobs=jobs, chunk_size=chunk_size,
+        )
+        assert history.records == reference
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("jobs,chunk_size", [(2, None), (3, 4)])
+    def test_account_records_identical(
+        self, small_ethereum_builder, backend, jobs, chunk_size
+    ):
+        inputs = account_block_inputs(small_ethereum_builder.executed_blocks)
+        reference = _serial_records(inputs, "account")
+        history = analyze_chain(
+            inputs, data_model="account", name="eth", backend=backend,
+            jobs=jobs, chunk_size=chunk_size,
+        )
+        assert history.records == reference
+
+    def test_histories_match_ledger_order_and_metadata(
+        self, small_bitcoin_ledger
+    ):
+        history = analyze_chain(
+            small_bitcoin_ledger, data_model="utxo", name="btc",
+            start_year=2009.0, backend="process", jobs=2,
+        )
+        assert history.name == "btc"
+        assert history.start_year == 2009.0
+        heights = [record.height for record in history.records]
+        assert heights == sorted(heights)
+        assert len(history) == len(small_bitcoin_ledger)
+
+    def test_empty_chain(self):
+        for backend in BACKENDS:
+            history = analyze_chain(
+                [], data_model="utxo", name="empty", backend=backend,
+                jobs=2,
+            )
+            assert history.records == []
+
+
+# -- seeded-random equivalence across fresh chains ----------------------------
+
+
+class TestSeededRandomEquivalence:
+    """Property-style: fresh seeds, both data models, varied fan-out."""
+
+    @pytest.mark.parametrize("seed", [1, 11, 42])
+    def test_random_utxo_chains(self, seed):
+        ledger = build_utxo_chain(
+            BITCOIN, num_blocks=12, seed=seed, scale=0.15
+        )
+        inputs = utxo_block_inputs(ledger)
+        reference = _serial_records(inputs, "utxo")
+        for backend, jobs, chunk_size in [
+            ("process", 2, None), ("process", 4, 3), ("thread", 3, 5),
+        ]:
+            history = analyze_chain(
+                inputs, data_model="utxo", name=f"btc-{seed}",
+                backend=backend, jobs=jobs, chunk_size=chunk_size,
+            )
+            assert history.records == reference, (backend, jobs, chunk_size)
+
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_random_account_chains(self, seed):
+        builder = build_account_chain(
+            ETHEREUM, num_blocks=8, seed=seed, scale=0.3
+        )
+        inputs = account_block_inputs(builder.executed_blocks)
+        reference = _serial_records(inputs, "account")
+        for backend, jobs, chunk_size in [
+            ("process", 3, 2), ("thread", 2, None),
+        ]:
+            history = analyze_chain(
+                inputs, data_model="account", name=f"eth-{seed}",
+                backend=backend, jobs=jobs, chunk_size=chunk_size,
+            )
+            assert history.records == reference, (backend, jobs, chunk_size)
+
+    def test_block_inputs_are_pure_snapshots(self, small_bitcoin_ledger):
+        # Re-deriving inputs from the same ledger gives equal payloads:
+        # nothing in a BlockInput aliases mutable builder state.
+        first = utxo_block_inputs(small_bitcoin_ledger)
+        second = utxo_block_inputs(small_bitcoin_ledger)
+        assert first == second
+        assert all(isinstance(item, BlockInput) for item in first)
+
+
+# -- component-algorithm equivalence (the TDG's substrate) --------------------
+
+
+def _partitions(nodes, edges):
+    adjacency = build_adjacency(nodes, edges)
+    bfs = components_as_partition(connected_components_bfs(adjacency))
+    dsu = components_as_partition(
+        connected_components_union_find(adjacency)
+    )
+    return bfs, dsu
+
+
+class TestComponentEquivalence:
+    """BFS (paper Fig. 3) and union-find induce the same partition."""
+
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=0, max_value=30),
+            ),
+            max_size=60,
+        ),
+        extra_nodes=st.sets(
+            st.integers(min_value=0, max_value=40), max_size=10
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_graphs(self, edges, extra_nodes):
+        bfs, dsu = _partitions(extra_nodes, edges)
+        assert bfs == dsu
+
+    def test_structured_graphs(self):
+        cases = [
+            # sweep chain (paper Fig. 6 shape)
+            ([], [(i, i + 1) for i in range(18)]),
+            # exchange fan-in star (paper Fig. 1b shape)
+            ([], [(0, i) for i in range(1, 16)]),
+            # two cliques plus isolated nodes
+            (
+                [100, 101],
+                [(a, b) for a in range(5) for b in range(a + 1, 5)]
+                + [(a, b) for a in range(10, 14) for b in range(a + 1, 14)],
+            ),
+            # self loops only
+            ([1, 2, 3], [(1, 1), (2, 2)]),
+        ]
+        for nodes, edges in cases:
+            bfs, dsu = _partitions(nodes, edges)
+            assert bfs == dsu

@@ -96,6 +96,31 @@ class TestProfileCommand:
         text = prom_path.read_text()
         assert "# TYPE exec_runs counter" in text
 
+    def test_parallel_backend_profile(self, tmp_path):
+        """The CI smoke invocation: profile --jobs 2 on a tiny chain."""
+        trace_path = tmp_path / "spans.jsonl"
+        code = main([
+            "profile", "--chain", "ethereum", "--blocks", "4",
+            "--scale", "0.5", "--backend", "process", "--jobs", "2",
+            "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        spans, snapshot = read_trace_jsonl(trace_path)
+        names = {span.name for span in spans}
+        assert "pipeline.parallel.run" in names
+        assert "pipeline.parallel.chunk" in names
+        assert any(name.startswith("exec.") for name in names)
+        counters = snapshot["counters"]
+        assert counters["pipeline.parallel.blocks{backend=process}"] == 4.0
+
+    def test_profile_jobs_zero_exits_2(self, tmp_path, capsys):
+        code = main([
+            "profile", "--chain", "ethereum", "--blocks", "2",
+            "--jobs", "0", "--trace-out", str(tmp_path / "x.jsonl"),
+        ])
+        assert code == 2
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
     def test_unknown_chain_exits_2_with_message(self, tmp_path, capsys):
         code, _ = _run_profile(tmp_path, chain="solana")
         assert code == 2

@@ -56,6 +56,73 @@ class TestResultsUnperturbed:
         }
 
 
+class TestParallelInstrumentation:
+    """Instrumented parallel runs emit the ``pipeline.parallel.*``
+    family and still match an uninstrumented serial run exactly."""
+
+    def test_process_backend_counters_and_identical_output(self):
+        baseline = generate_chain("bitcoin", **CHAIN_ARGS)
+        with obs.instrumented() as state:
+            parallel = generate_chain(
+                "bitcoin", **CHAIN_ARGS, backend="process", jobs=2,
+                chunk_size=2,
+            )
+        assert _record_tuples(parallel.history) == _record_tuples(
+            baseline.history
+        )
+        snapshot = state.registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["pipeline.parallel.runs{backend=process}"] == 1.0
+        assert counters["pipeline.parallel.blocks{backend=process}"] == 6.0
+        assert counters["pipeline.parallel.chunks{backend=process}"] == 3.0
+        assert snapshot["gauges"][
+            "pipeline.parallel.jobs{backend=process}"
+        ] == 2.0
+        # One chunk-time observation per chunk.
+        chunk_seconds = snapshot["histograms"][
+            "pipeline.parallel.chunk_seconds{backend=process}"
+        ]
+        assert chunk_seconds["count"] == 3
+
+    def test_parallel_spans_nest_under_the_run(self):
+        with obs.instrumented() as state:
+            generate_chain(
+                "ethereum", **CHAIN_ARGS, backend="thread", jobs=2,
+                chunk_size=3,
+            )
+        spans = state.tracer.spans()
+        names = {span.name for span in spans}
+        assert {"pipeline.chain", "pipeline.parallel.run",
+                "pipeline.parallel.chunk"} <= names
+        runs = [s for s in spans if s.name == "pipeline.parallel.run"]
+        chunks = [s for s in spans if s.name == "pipeline.parallel.chunk"]
+        assert len(runs) == 1
+        assert {span.parent_id for span in chunks} == {runs[0].span_id}
+        assert all(
+            span.attrs.get("worker_seconds") is not None for span in chunks
+        )
+
+    def test_thread_backend_still_counts_per_block_families(self):
+        # In-process backends keep the serial per-block counters; only
+        # the process backend loses them to worker-local registries.
+        with obs.instrumented() as state:
+            generate_chain(
+                "bitcoin", **CHAIN_ARGS, backend="thread", jobs=2
+            )
+        counters = state.registry.snapshot()["counters"]
+        assert counters["pipeline.blocks{model=utxo}"] == 6.0
+        assert counters["pipeline.parallel.runs{backend=thread}"] == 1.0
+
+    def test_uninstrumented_parallel_run_records_nothing(self):
+        generate_chain(
+            "bitcoin", **CHAIN_ARGS, backend="process", jobs=2
+        )
+        assert obs.get_tracer().spans() == []
+        assert obs.get_registry().snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
 class TestExecutorsUnperturbed:
     def test_reports_identical_with_and_without_instrumentation(self):
         from repro.execution.engine import tasks_from_account_block
