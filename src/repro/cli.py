@@ -475,6 +475,63 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_staticcheck(args: argparse.Namespace) -> int:
+    """Lint a workload's contract registry with the static analyzer.
+
+    Deploys the profile's contract population (no chain is mined) and
+    runs the abstract interpreter over every registered program.  Exit
+    status 1 when any contract has errors (or, with ``--strict``, any
+    finding at all), 0 when the registry is clean.
+    """
+    import dataclasses
+
+    from repro.staticcheck import lint_registry, render_lint_report
+    from repro.workload.account_workload import AccountWorkloadBuilder
+
+    profile = _resolve_profile(args.chain)
+    if profile.data_model != "account":
+        raise CLIError(
+            f"chain {args.chain!r} is a {profile.data_model} chain with "
+            "no contract code; pick an account chain"
+        )
+    if args.dynamic < 0:
+        raise CLIError("--dynamic must be non-negative")
+    if args.dynamic:
+        if args.dynamic > profile.num_contracts:
+            raise CLIError(
+                f"--dynamic {args.dynamic} exceeds the profile's "
+                f"{profile.num_contracts} contracts"
+            )
+        profile = dataclasses.replace(
+            profile, num_dynamic_contracts=args.dynamic
+        )
+    builder = AccountWorkloadBuilder(profile=profile, seed=args.seed)
+    if args.with_defects:
+        from repro.vm.opcodes import Instruction, Op
+
+        # Hand-built defective programs (the assembler rejects these
+        # now, so they are registered as raw instruction tuples): dead
+        # code behind an unconditional jump, a guaranteed stack
+        # underflow, and an out-of-range jump target.
+        builder.registry.register(
+            "defect_unreachable",
+            (
+                Instruction(op=Op.JUMP, operand=2),
+                Instruction(op=Op.SSTORE, operand="dead"),
+                Instruction(op=Op.STOP, operand=None),
+            ),
+        )
+        builder.registry.register(
+            "defect_underflow", (Instruction(op=Op.POP, operand=None),)
+        )
+        builder.registry.register(
+            "defect_jump_range", (Instruction(op=Op.JUMP, operand=99),)
+        )
+    report = lint_registry(builder.registry)
+    print(render_lint_report(report))
+    return report.exit_code(strict=args.strict)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -540,6 +597,32 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--prometheus-out", default="",
                      help="also write a Prometheus text-format snapshot")
     sub.set_defaults(func=cmd_profile)
+
+    sub = subparsers.add_parser(
+        "staticcheck",
+        help="lint a workload's contract registry with the static "
+             "analyzer (exit 1 on errors)",
+    )
+    known = ", ".join(sorted(PROFILES_BY_NAME))
+    sub.add_argument(
+        "--chain", required=True, metavar="NAME",
+        help=f"account-chain profile to lint (one of: {known})",
+    )
+    sub.add_argument("--seed", type=int, default=0,
+                     help="determinism seed")
+    sub.add_argument(
+        "--dynamic", type=int, default=0, metavar="N",
+        help="deploy N dynamic-operand contracts (⊤-widening cases)",
+    )
+    sub.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as errors for the exit status",
+    )
+    sub.add_argument(
+        "--with-defects", action="store_true",
+        help="seed known-defective programs (for CI smoke tests)",
+    )
+    sub.set_defaults(func=cmd_staticcheck)
 
     sub = subparsers.add_parser(
         "report",

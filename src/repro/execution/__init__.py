@@ -18,6 +18,7 @@ from repro.execution.speculative import (
     SpeculativeExecutor,
     split_conflicted,
 )
+from repro.execution.static_informed import StaticInformedExecutor
 
 __all__ = [
     "ExecutionReport",
@@ -36,5 +37,6 @@ __all__ = [
     "SimulatedRun",
     "InformedSpeculativeExecutor",
     "SpeculativeExecutor",
+    "StaticInformedExecutor",
     "split_conflicted",
 ]

@@ -1,0 +1,456 @@
+"""Constant-propagating abstract interpretation of one program.
+
+The interpreter runs a classic worklist fixpoint over the CFG with an
+abstract stack per basic-block entry (:data:`~repro.staticcheck.
+lattice.StackState`), then replays each reachable block once against
+its converged entry state to collect the program's access summary and
+diagnostics.
+
+Widening rules (each has a dedicated unit test):
+
+* joining two different constants → ⊤;
+* joining stacks of different heights → unknown stack (every later pop
+  yields ⊤ and underflow can no longer be proven);
+* a dynamic (``$``) storage key / balance address that is not a
+  constant at the access site → the corresponding key set widens to ⊤;
+* a dynamic call target that is not a constant → the call-target set
+  widens to ⊤ (interprocedurally: "any contract may run");
+* arithmetic on anything but two constant ints → ⊤ result;
+* a ``JUMPI`` on a non-constant condition → both successors feasible
+  (a constant condition prunes the dead branch, which is what makes
+  constant-false guards produce *unreachable code* findings).
+
+Soundness: every concrete execution path is covered by some abstract
+path, so the dynamic access set of any run is a subset of the summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.staticcheck.cfg import BasicBlock, build_cfg
+from repro.staticcheck.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    STACK_UNDERFLOW,
+    TOP_WIDENED,
+    UNREACHABLE,
+    Diagnostic,
+)
+from repro.staticcheck.lattice import (
+    TOP,
+    AbstractValue,
+    Const,
+    MaySet,
+    StackState,
+    join_stack,
+)
+from repro.vm.contract import Program
+from repro.vm.opcodes import STACK_OPERAND, Instruction, Op
+
+_MAX_FIXPOINT_PASSES = 10_000
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One ``CALL``/``TRANSFER`` site; ``target=None`` means ⊤."""
+
+    pc: int
+    kind: str  # "call" | "transfer"
+    target: str | None
+    value: int
+
+    @property
+    def is_call(self) -> bool:
+        return self.kind == "call"
+
+
+@dataclass(frozen=True)
+class ProgramSummary:
+    """Sound over-approximation of one program's side effects."""
+
+    num_instructions: int
+    storage_reads: MaySet
+    storage_writes: MaySet
+    balance_reads: MaySet
+    calls: tuple[CallSite, ...]
+    diagnostics: tuple[Diagnostic, ...]
+
+    @property
+    def has_unknown_call_target(self) -> bool:
+        return any(site.target is None for site in self.calls)
+
+    @property
+    def has_unknown_transfer_target(self) -> bool:
+        return any(
+            site.target is None and not site.is_call for site in self.calls
+        )
+
+    @property
+    def top_widened(self) -> bool:
+        """Did any access set widen to ⊤?"""
+        return (
+            self.storage_reads.top
+            or self.storage_writes.top
+            or self.balance_reads.top
+            or self.has_unknown_call_target
+        )
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.is_error)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if not d.is_error)
+
+
+@dataclass
+class _Effects:
+    """Accumulator used by the final replay pass."""
+
+    storage_reads: MaySet = field(default_factory=MaySet)
+    storage_writes: MaySet = field(default_factory=MaySet)
+    balance_reads: MaySet = field(default_factory=MaySet)
+    calls: dict[int, CallSite] = field(default_factory=dict)
+    diagnostics: dict[tuple[int, str], Diagnostic] = field(
+        default_factory=dict
+    )
+    executed_pcs: set[int] = field(default_factory=set)
+
+    def diagnose(
+        self, pc: int, severity: str, code: str, message: str
+    ) -> None:
+        self.diagnostics.setdefault(
+            (pc, code),
+            Diagnostic(pc=pc, severity=severity, code=code, message=message),
+        )
+
+
+class _Halt(Exception):
+    """Internal: abstract execution of this path stops here."""
+
+
+_BINARY_OPS = (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.LT, Op.EQ)
+
+
+def _fold(op: Op, lhs: int, rhs: int) -> int:
+    """Constant-fold a binary op with the VM's exact semantics."""
+    if op is Op.ADD:
+        return lhs + rhs
+    if op is Op.SUB:
+        return lhs - rhs
+    if op is Op.MUL:
+        return lhs * rhs
+    if op is Op.DIV:
+        return lhs // rhs if rhs != 0 else 0
+    if op is Op.LT:
+        return 1 if lhs < rhs else 0
+    if op is Op.EQ:
+        return 1 if lhs == rhs else 0
+    raise AssertionError(f"not a binary op: {op!r}")
+
+
+class _AbstractFrame:
+    """Mutable abstract stack with underflow tracking for one path."""
+
+    def __init__(self, state: StackState, effects: _Effects | None):
+        self.known: list[AbstractValue] | None = (
+            None if state is None else list(state)
+        )
+        self.effects = effects
+
+    def snapshot(self) -> StackState:
+        return None if self.known is None else tuple(self.known)
+
+    def push(self, value: AbstractValue) -> None:
+        if self.known is not None:
+            self.known.append(value)
+
+    def pop(self, pc: int, needed: int = 1) -> list[AbstractValue]:
+        """Pop *needed* slots; ⊤ for each slot of an unknown stack.
+
+        Raises :class:`_Halt` on a *provable* underflow: the stack
+        height is exact here (all paths agree), so the VM is guaranteed
+        to raise ``VMError`` if this pc is ever reached.
+        """
+        if self.known is None:
+            return [TOP] * needed
+        if len(self.known) < needed:
+            if self.effects is not None:
+                self.effects.diagnose(
+                    pc,
+                    SEVERITY_ERROR,
+                    STACK_UNDERFLOW,
+                    f"guaranteed stack underflow (needs {needed} operand"
+                    f"{'s' if needed > 1 else ''}, stack has "
+                    f"{len(self.known)})",
+                )
+            raise _Halt
+        taken = self.known[-needed:][::-1]
+        del self.known[-needed:]
+        return taken
+
+    def peek_ok(self, needed: int) -> bool:
+        return self.known is None or len(self.known) >= needed
+
+
+def _resolve_key(
+    operand: object,
+    frame: _AbstractFrame,
+    pc: int,
+    what: str,
+) -> str | None:
+    """A static or ``$`` operand as a concrete key, or None for ⊤."""
+    if operand != STACK_OPERAND:
+        return str(operand)
+    (value,) = frame.pop(pc)
+    if isinstance(value, Const):
+        return str(value.value)
+    if frame.effects is not None:
+        frame.effects.diagnose(
+            pc,
+            SEVERITY_WARNING,
+            TOP_WIDENED,
+            f"dynamic {what} is not a constant; access set widened to ⊤",
+        )
+    return None
+
+
+def _step_block(
+    program: Program,
+    block: BasicBlock,
+    entry: StackState,
+    effects: _Effects | None,
+) -> list[tuple[int, StackState]]:
+    """Abstractly execute *block* from *entry*; return successor states."""
+    frame = _AbstractFrame(entry, effects)
+    for pc in range(block.start, block.end):
+        instruction = program[pc]
+        if effects is not None:
+            effects.executed_pcs.add(pc)
+        op = instruction.op
+        try:
+            if op in (Op.STOP, Op.REVERT):
+                return []
+            if op is Op.PUSH:
+                operand = instruction.operand
+                frame.push(
+                    Const(operand)
+                    if isinstance(operand, (int, str))
+                    else TOP
+                )
+            elif op is Op.POP:
+                frame.pop(pc)
+            elif op is Op.DUP:
+                if not frame.peek_ok(1):
+                    frame.pop(pc)  # raises with the underflow diagnostic
+                if frame.known is not None:
+                    frame.push(frame.known[-1])
+            elif op is Op.SWAP:
+                rhs, lhs = frame.pop(pc, 2)
+                frame.push(rhs)
+                frame.push(lhs)
+            elif op in _BINARY_OPS:
+                rhs, lhs = frame.pop(pc, 2)
+                if (
+                    isinstance(lhs, Const)
+                    and isinstance(rhs, Const)
+                    and isinstance(lhs.value, int)
+                    and isinstance(rhs.value, int)
+                ):
+                    frame.push(Const(_fold(op, lhs.value, rhs.value)))
+                else:
+                    # Non-int constants would fault at run time; pushing
+                    # ⊤ and continuing only widens the access set.
+                    frame.push(TOP)
+            elif op is Op.ISZERO:
+                (value,) = frame.pop(pc)
+                if isinstance(value, Const) and isinstance(value.value, int):
+                    frame.push(Const(1 if value.value == 0 else 0))
+                else:
+                    frame.push(TOP)
+            elif op is Op.JUMP:
+                if block.successors:
+                    return [(block.successors[0], frame.snapshot())]
+                return []  # out-of-range target: the VM faults here
+            elif op is Op.JUMPI:
+                (condition,) = frame.pop(pc)
+                state = frame.snapshot()
+                target = _jumpi_target(instruction, program)
+                fall = pc + 1 if pc + 1 < len(program) else None
+                if isinstance(condition, Const) and isinstance(
+                    condition.value, int
+                ):
+                    chosen = target if condition.value != 0 else fall
+                    return [] if chosen is None else [(chosen, state)]
+                successors: list[tuple[int, StackState]] = []
+                if target is not None:
+                    successors.append((target, state))
+                if fall is not None:
+                    successors.append((fall, state))
+                return successors
+            elif op is Op.SLOAD:
+                key = _resolve_key(
+                    instruction.operand, frame, pc, "storage key"
+                )
+                if effects is not None:
+                    effects.storage_reads = (
+                        effects.storage_reads.add(key)
+                        if key is not None
+                        else effects.storage_reads.widen()
+                    )
+                frame.push(TOP)  # storage contents are unknown statically
+            elif op is Op.SSTORE:
+                key = _resolve_key(
+                    instruction.operand, frame, pc, "storage key"
+                )
+                frame.pop(pc)  # the stored value
+                if effects is not None:
+                    effects.storage_writes = (
+                        effects.storage_writes.add(key)
+                        if key is not None
+                        else effects.storage_writes.widen()
+                    )
+            elif op is Op.BALANCE:
+                address = _resolve_key(
+                    instruction.operand, frame, pc, "balance address"
+                )
+                if effects is not None:
+                    effects.balance_reads = (
+                        effects.balance_reads.add(address)
+                        if address is not None
+                        else effects.balance_reads.widen()
+                    )
+                frame.push(TOP)
+            elif op in (Op.CALL, Op.TRANSFER):
+                operand = instruction.operand
+                if isinstance(operand, tuple) and len(operand) == 2:
+                    raw_target, value = operand
+                else:  # malformed hand-built operand: stay total, widen
+                    raw_target, value = None, 0
+                target = (
+                    _resolve_key(raw_target, frame, pc, "call target")
+                    if raw_target is not None
+                    else None
+                )
+                if effects is not None:
+                    effects.calls[pc] = CallSite(
+                        pc=pc,
+                        kind="call" if op is Op.CALL else "transfer",
+                        target=target,
+                        value=int(value),
+                    )
+            elif op is Op.LOG:
+                frame.pop(pc)
+            else:  # pragma: no cover - enum is exhaustive
+                raise AssertionError(f"unhandled opcode {op!r}")
+        except _Halt:
+            return []
+    # Fell through to the next leader (or off the end of the program).
+    if block.successors:
+        return [(block.successors[0], frame.snapshot())]
+    return []
+
+
+def _jumpi_target(instruction: Instruction, program: Program) -> int | None:
+    operand = instruction.operand
+    if isinstance(operand, int) and 0 <= operand < len(program):
+        return operand
+    return None
+
+
+def analyze_program(program: Program) -> ProgramSummary:
+    """Compute the sound access summary and diagnostics of *program*."""
+    cfg = build_cfg(program)
+    entry_states: dict[int, StackState] = {}
+    blocks_by_start = {block.start: block for block in cfg.blocks}
+
+    if cfg.blocks:
+        entry_states[0] = ()
+        worklist: list[int] = [0]
+        passes = 0
+        while worklist:
+            passes += 1
+            if passes > _MAX_FIXPOINT_PASSES:  # pragma: no cover - guard
+                raise RuntimeError("abstract interpretation diverged")
+            start = worklist.pop()
+            block = blocks_by_start[start]
+            for successor, state in _step_block(
+                program, block, entry_states[start], effects=None
+            ):
+                if successor not in entry_states:
+                    entry_states[successor] = state
+                    worklist.append(successor)
+                else:
+                    joined = join_stack(entry_states[successor], state)
+                    if joined != entry_states[successor]:
+                        entry_states[successor] = joined
+                        worklist.append(successor)
+
+    # Replay each reachable block once against its converged entry
+    # state, collecting accesses and per-pc diagnostics.
+    effects = _Effects()
+    for start in sorted(entry_states):
+        _step_block(
+            program, blocks_by_start[start], entry_states[start], effects
+        )
+
+    for diagnostic in cfg.diagnostics:
+        # Out-of-range jumps are errors only where reachable; in dead
+        # code they are subsumed by the unreachable-code warning.
+        if diagnostic.pc in effects.executed_pcs:
+            effects.diagnostics.setdefault(
+                (diagnostic.pc, diagnostic.code), diagnostic
+            )
+
+    _diagnose_unreachable(len(program), effects)
+
+    diagnostics = tuple(
+        sorted(
+            effects.diagnostics.values(),
+            key=lambda d: (d.pc, d.severity, d.code),
+        )
+    )
+    summary = ProgramSummary(
+        num_instructions=len(program),
+        storage_reads=effects.storage_reads,
+        storage_writes=effects.storage_writes,
+        balance_reads=effects.balance_reads,
+        calls=tuple(
+            effects.calls[pc] for pc in sorted(effects.calls)
+        ),
+        diagnostics=diagnostics,
+    )
+    if obs.enabled():
+        obs.counter("staticcheck.programs").inc()
+        obs.counter("staticcheck.instructions").inc(len(program))
+        if summary.top_widened:
+            obs.counter("staticcheck.top_widened").inc()
+        for diagnostic in diagnostics:
+            obs.counter(
+                "staticcheck.diagnostics", severity=diagnostic.severity
+            ).inc()
+    return summary
+
+
+def _diagnose_unreachable(length: int, effects: _Effects) -> None:
+    """Coalesce never-executed pcs into per-run unreachable warnings."""
+    run_start: int | None = None
+    for pc in range(length + 1):
+        dead = pc < length and pc not in effects.executed_pcs
+        if dead and run_start is None:
+            run_start = pc
+        elif not dead and run_start is not None:
+            count = pc - run_start
+            effects.diagnose(
+                run_start,
+                SEVERITY_WARNING,
+                UNREACHABLE,
+                f"unreachable code ({count} instruction"
+                f"{'s' if count > 1 else ''}, pc {run_start}"
+                + (f"-{pc - 1}" if count > 1 else "")
+                + ")",
+            )
+            run_start = None

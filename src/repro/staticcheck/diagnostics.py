@@ -1,0 +1,37 @@
+"""Analyzer diagnostics: typed findings attached to program points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+# Diagnostic codes.  Errors describe programs that are guaranteed to
+# fault if the flagged instruction is reached; warnings describe code
+# the analyzer proved dead or could not analyze precisely.
+JUMP_RANGE = "jump-range"          # error: target pc outside the program
+STACK_UNDERFLOW = "stack-underflow"  # error: pop with provably empty stack
+UNREACHABLE = "unreachable"        # warning: no path reaches these pcs
+TOP_WIDENED = "top-widened"        # warning: access set widened to ⊤
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding at a program counter."""
+
+    pc: int
+    severity: str
+    code: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in (SEVERITY_ERROR, SEVERITY_WARNING):
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == SEVERITY_ERROR
+
+    def render(self) -> str:
+        return f"pc {self.pc}: {self.severity}: {self.message}"

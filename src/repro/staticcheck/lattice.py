@@ -1,0 +1,107 @@
+"""Abstract domains shared by the analyzer passes.
+
+Two tiny lattices:
+
+* **Values** — an operand on the abstract stack is either a known
+  constant (:class:`Const`, the result of constant propagation) or the
+  top element :data:`TOP` ("any value").  There is no bottom element:
+  unreachable states are simply never created.
+
+* **Key sets** — a :class:`MaySet` over-approximates a set of storage
+  keys / addresses.  It is a finite set of strings until a dynamic
+  operand fails to resolve to a constant, at which point it widens to ⊤
+  ("may touch any key in scope").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+class Top:
+    """The ⊤ abstract value: "could be anything"."""
+
+    _instance: "Top | None" = None
+
+    def __new__(cls) -> "Top":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊤"
+
+
+TOP = Top()
+
+
+@dataclass(frozen=True)
+class Const:
+    """A stack slot known to hold exactly *value* on every path."""
+
+    value: Union[int, str]
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+AbstractValue = Union[Const, Top]
+
+# An abstract stack: a tuple of slots when the height is the same on
+# every path reaching the program point, or None ("unknown stack") when
+# joining paths of different heights.  Pops from an unknown stack yield
+# TOP and underflow can no longer be proven.
+StackState = Union[tuple[AbstractValue, ...], None]
+
+
+def join_value(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Least upper bound of two abstract values."""
+    if isinstance(a, Const) and isinstance(b, Const) and a == b:
+        return a
+    return TOP
+
+
+def join_stack(a: StackState, b: StackState) -> StackState:
+    """Least upper bound of two abstract stacks (height mismatch → None)."""
+    if a is None or b is None or len(a) != len(b):
+        return None
+    return tuple(join_value(x, y) for x, y in zip(a, b))
+
+
+@dataclass(frozen=True)
+class MaySet:
+    """A sound over-approximation of a set of keys/addresses.
+
+    ``top=True`` means "any key" — the concrete items are then
+    irrelevant for membership (but retained: they are still useful as
+    the *definitely-mentioned* subset when rendering diagnostics).
+    """
+
+    items: frozenset[str] = field(default_factory=frozenset)
+    top: bool = False
+
+    def add(self, item: str) -> "MaySet":
+        return MaySet(items=self.items | {item}, top=self.top)
+
+    def widen(self) -> "MaySet":
+        return MaySet(items=self.items, top=True)
+
+    def union(self, other: "MaySet") -> "MaySet":
+        return MaySet(
+            items=self.items | other.items, top=self.top or other.top
+        )
+
+    def covers(self, item: str) -> bool:
+        """May this set contain *item*?  (⊤ covers everything.)"""
+        return self.top or item in self.items
+
+    def is_superset_of(self, concrete: frozenset[str]) -> bool:
+        return self.top or concrete <= self.items
+
+    def __bool__(self) -> bool:
+        return self.top or bool(self.items)
+
+
+EMPTY_MAYSET = MaySet()
+TOP_MAYSET = MaySet(top=True)

@@ -11,16 +11,28 @@ Assembly format — one instruction per line, ``;`` starts a comment::
     push 5
     sstore counter      ; storage[counter] = 5
     call 0xabc... 100   ; internal transaction with value 100
+    sstore $            ; dynamic form: key popped from the stack
     stop
+
+``JUMP``/``JUMPI`` targets are validated against the program length at
+assembly time, so an out-of-range target is an :class:`AssemblyError`
+here rather than a mid-execution :class:`~repro.chain.errors.VMError`.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
-from repro.vm.opcodes import Instruction, Op
+from repro.vm.opcodes import STACK_OPERAND, Instruction, Op
 
 Program = tuple[Instruction, ...]
+
+# What a non-integer PUSH operand is allowed to look like: a symbol (a
+# storage key like ``balance_sender``) or an address-like hex token.
+# Anything else — ``5x5``, ``1.5``, stray punctuation — used to fall
+# back to a silent string operand; now it is an assembly error.
+_SYMBOL_RE = re.compile(r"(?:[A-Za-z_][A-Za-z0-9_.\-]*|0x[0-9a-fA-F]+)\Z")
 
 
 class AssemblyError(Exception):
@@ -31,9 +43,11 @@ def assemble(text: str) -> Program:
     """Assemble *text* into a program.
 
     Raises:
-        AssemblyError: on unknown mnemonics or malformed operands.
+        AssemblyError: on unknown mnemonics, malformed operands, or
+            ``JUMP``/``JUMPI`` targets outside the program.
     """
     instructions: list[Instruction] = []
+    lines: list[int] = []  # source line of each instruction, for errors
     for line_number, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.split(";", 1)[0].strip()
         if not line:
@@ -52,7 +66,10 @@ def assemble(text: str) -> Program:
                 raise AssemblyError(
                     f"line {line_number}: {mnemonic} needs address and value"
                 )
-            operand = (args[0], _parse_int(args[1], line_number))
+            target: object = (
+                STACK_OPERAND if args[0] == STACK_OPERAND else args[0]
+            )
+            operand = (target, _parse_int(args[1], line_number))
         elif op in (Op.JUMP, Op.JUMPI):
             if len(args) != 1:
                 raise AssemblyError(
@@ -65,6 +82,11 @@ def assemble(text: str) -> Program:
             try:
                 operand = _parse_int(args[0], line_number)
             except AssemblyError:
+                if not _SYMBOL_RE.match(args[0]):
+                    raise AssemblyError(
+                        f"line {line_number}: push operand {args[0]!r} is "
+                        "neither an integer nor a symbol"
+                    ) from None
                 operand = args[0]
         elif op in (Op.SLOAD, Op.SSTORE, Op.BALANCE):
             if len(args) != 1:
@@ -78,6 +100,18 @@ def assemble(text: str) -> Program:
                     f"line {line_number}: {mnemonic} takes no operands"
                 )
         instructions.append(Instruction(op=op, operand=operand))
+        lines.append(line_number)
+
+    for pc, instruction in enumerate(instructions):
+        if instruction.op in (Op.JUMP, Op.JUMPI):
+            target = instruction.operand
+            if not isinstance(target, int) or not (
+                0 <= target < len(instructions)
+            ):
+                raise AssemblyError(
+                    f"line {lines[pc]}: jump target {target!r} out of range "
+                    f"(program has {len(instructions)} instructions)"
+                )
     return tuple(instructions)
 
 
@@ -109,6 +143,10 @@ class CodeRegistry:
 
     def get(self, code_id: str) -> Program | None:
         return self._programs.get(code_id)
+
+    def code_ids(self) -> tuple[str, ...]:
+        """All registered code ids, sorted for deterministic iteration."""
+        return tuple(sorted(self._programs))
 
     def __contains__(self, code_id: str) -> bool:
         return code_id in self._programs
@@ -142,6 +180,62 @@ def proxy_asm(target_address: str) -> str:
         call {target_address} 0
         stop
     """
+
+# -- dynamic-operand bodies (profiles with ``num_dynamic_contracts``) ------
+
+# Branches on a storage flag it toggles, writing a different key on each
+# path.  Runtime calls alternate between the arms; a sound static
+# analysis must take both, so its predicted set covers key_a AND key_b.
+TOGGLE_BRANCH_ASM = """
+    sload flag
+    jumpi 7
+    push 1
+    sstore flag
+    push 1
+    sstore key_a
+    stop
+    push 0
+    sstore flag
+    push 1
+    sstore key_b
+    stop
+"""
+
+# Increments a counter, then writes under the counter's current value —
+# a storage key that changes every call and cannot be resolved
+# statically (the analyzer widens this contract's writes to ⊤).
+DYNAMIC_COUNTER_ASM = """
+    sload n
+    push 1
+    add
+    sstore n
+    push 7
+    sload n
+    sstore $
+    stop
+"""
+
+# Pays a fee to an address read from storage — a dynamic TRANSFER
+# target, so the analyzer widens the balance/endpoint sets to ⊤.  The
+# deploying workload funds the contract and seeds storage["payee"].
+DYNAMIC_PAYOUT_ASM = """
+    sload payee
+    transfer $ 3
+    stop
+"""
+
+# Dynamic-key forms whose keys are pushed constants: constant
+# propagation resolves them exactly, so the static sets stay precise.
+CONST_INDEXED_ASM = """
+    push slot7
+    sload $
+    pop
+    push 5
+    push slot7
+    sstore $
+    stop
+"""
+
 
 # A heavy loop used to model expensive (high-gas) transactions, e.g. the
 # 2017 DoS-attack traffic that spiked internal transaction counts.

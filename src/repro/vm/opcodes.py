@@ -9,12 +9,29 @@ the gas schedule categories of :class:`repro.account.gas.GasSchedule`.
 Programs are tuples of :class:`Instruction`.  Operands are Python ints
 or strings; the assembler in :mod:`repro.vm.contract` provides a tiny
 text format used by workload-generated contracts.
+
+Storage, balance and call operands may also be *dynamic*: the sentinel
+:data:`STACK_OPERAND` (written ``$`` in assembly) makes the VM pop the
+key / address off the stack at run time instead of reading a static
+operand.  Dynamic operands are what make the static analyzer in
+:mod:`repro.staticcheck` non-trivial — a key that cannot be resolved by
+constant propagation widens the access set to ⊤.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum, unique
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.account.gas import GasSchedule
+
+# Sentinel operand: "take the key/address from the top of the stack".
+# Spelled ``$`` in assembly; valid for SLOAD/SSTORE/BALANCE keys and
+# CALL/TRANSFER targets.  JUMP/JUMPI targets are always static so that
+# the control-flow graph of a program is statically known.
+STACK_OPERAND = "$"
 
 
 @unique
@@ -37,11 +54,12 @@ class Op(Enum):
     ISZERO = "iszero"    # pop 1 push 1
     JUMPI = "jumpi"      # operand = target pc; pop 1 condition
     JUMP = "jump"        # operand = target pc
-    SLOAD = "sload"      # operand = key; push storage[key]
-    SSTORE = "sstore"    # operand = key; pop 1 value into storage[key]
-    BALANCE = "balance"  # operand = address; push balance
-    CALL = "call"        # operand = (address, value); internal transaction
-    TRANSFER = "transfer"  # operand = (address, value); value-only internal tx
+    SLOAD = "sload"      # operand = key or $; push storage[key]
+    SSTORE = "sstore"    # operand = key or $; pop value into storage[key]
+    #                      ($ form pops the key first, then the value)
+    BALANCE = "balance"  # operand = address or $; push balance
+    CALL = "call"        # operand = (address | $, value); internal tx
+    TRANSFER = "transfer"  # operand = (address | $, value); value-only
     LOG = "log"          # pop 1, emit log entry
     STOP = "stop"        # halt, success
     REVERT = "revert"    # halt, failure
@@ -68,7 +86,7 @@ class Instruction:
             raise ValueError(f"opcode {self.op.value} takes no operand")
 
 
-def gas_cost(instruction: Instruction, schedule) -> int:
+def gas_cost(instruction: Instruction, schedule: "GasSchedule") -> int:
     """Gas charged for executing *instruction* under *schedule*.
 
     SSTORE cost is charged at the set rate; the cheaper update rate is

@@ -21,7 +21,7 @@ from repro.account.state import WorldState
 from repro.account.transaction import AccountTransaction, InternalTransaction
 from repro.chain.errors import OutOfGasError, VMError
 from repro.vm.contract import CodeRegistry, Program
-from repro.vm.opcodes import Instruction, Op, gas_cost
+from repro.vm.opcodes import STACK_OPERAND, Instruction, Op, gas_cost
 
 MAX_CALL_DEPTH = 16
 MAX_STEPS_PER_CALL = 10_000
@@ -179,12 +179,13 @@ class VM:
                     pc = self._jump_target(instruction, program)
                     continue
             elif op is Op.SLOAD:
-                key = str(instruction.operand)
+                key = self._operand_or_pop(instruction.operand, stack)
                 context.reads.add((self_address, key))
                 raw = account.storage.get(key, "0")
                 stack.append(int(raw) if raw.lstrip("-").isdigit() else raw)
             elif op is Op.SSTORE:
-                key = str(instruction.operand)
+                # Dynamic form pops the key first, then the value.
+                key = self._operand_or_pop(instruction.operand, stack)
                 value = self._pop(stack)
                 # Charge the cheaper update rate when overwriting.
                 if key in account.storage:
@@ -193,11 +194,12 @@ class VM:
                 context.writes.add((self_address, key))
                 account.storage[key] = str(value)
             elif op is Op.BALANCE:
-                address = str(instruction.operand)
+                address = self._operand_or_pop(instruction.operand, stack)
                 context.reads.add((address, "__balance__"))
                 stack.append(state.balance_of(address))
             elif op in (Op.CALL, Op.TRANSFER):
                 target, call_value = instruction.operand  # type: ignore[misc]
+                target = self._operand_or_pop(target, stack)
                 call_value = int(call_value)
                 if call_value:
                     context.charge(schedule.call_value_transfer)
@@ -235,6 +237,13 @@ class VM:
         return True
 
     # -- helpers --------------------------------------------------------------
+
+    @classmethod
+    def _operand_or_pop(cls, operand: object, stack: list[object]) -> str:
+        """Resolve a key/address operand, popping the stack for ``$``."""
+        if operand == STACK_OPERAND:
+            return str(cls._pop(stack))
+        return str(operand)
 
     @staticmethod
     def _pop(stack: list[object]) -> object:

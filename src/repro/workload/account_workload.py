@@ -44,7 +44,14 @@ from repro.chain.hashing import address_from_seed
 from repro.chain.ledger import Ledger
 from repro.consensus.pow import Miner, PoWSimulator, make_pool_set
 from repro.sharding.zilliqa import ShardedChainBuilder
-from repro.vm.contract import CodeRegistry, TOKEN_TRANSFER_ASM
+from repro.vm.contract import (
+    CONST_INDEXED_ASM,
+    DYNAMIC_COUNTER_ASM,
+    DYNAMIC_PAYOUT_ASM,
+    TOGGLE_BRANCH_ASM,
+    TOKEN_TRANSFER_ASM,
+    CodeRegistry,
+)
 from repro.vm.vm import VM
 from repro.workload.actors import ActorPopulation
 from repro.workload.profiles import ChainProfile
@@ -153,8 +160,20 @@ class AccountWorkloadBuilder:
         Archetypes rotate: plain token (no internal txs), proxy chains
         (depth-2/3 internal txs, Fig. 1b's pattern), and multi-call apps.
         A dedicated "burst" contract models the 2017 DoS transactions.
+        When the profile sets ``num_dynamic_contracts``, that many
+        contracts (from the end of the population) use dynamic-operand
+        bodies instead, exercising the static analyzer's ⊤-widening.
         """
+        first_dynamic = (
+            len(self.population.contracts)
+            - self.profile.num_dynamic_contracts
+        )
         for index, actor in enumerate(self.population.contracts):
+            if index >= first_dynamic:
+                self.state.account(actor.address).code_id = (
+                    self._setup_dynamic_contract(index, actor.address)
+                )
+                continue
             archetype = index % 4
             if archetype == 0:
                 code_id = f"token{index}"
@@ -208,6 +227,33 @@ class AccountWorkloadBuilder:
         self.registry.register_assembly("burst", burst_body + "\nstop")
         self._burst_address = self._helper_address("burst-entry")
         self.state.account(self._burst_address).code_id = "burst"
+
+    def _setup_dynamic_contract(self, index: int, address: str) -> str:
+        """Deploy one dynamic-operand contract body.
+
+        Four archetypes rotate: storage-flag branching (static analysis
+        must take both arms), counter-keyed writes (storage write ⊤),
+        storage-read transfer targets (balance/endpoint ⊤), and
+        constant-indexed access (dynamic forms that still resolve
+        precisely).
+        """
+        archetype = index % 4
+        if archetype == 0:
+            code_id = f"toggle{index}"
+            self.registry.register_assembly(code_id, TOGGLE_BRANCH_ASM)
+        elif archetype == 1:
+            code_id = f"counter{index}"
+            self.registry.register_assembly(code_id, DYNAMIC_COUNTER_ASM)
+        elif archetype == 2:
+            code_id = f"payout{index}"
+            self.registry.register_assembly(code_id, DYNAMIC_PAYOUT_ASM)
+            payee = self._helper_address(f"payee{index}")
+            self.state.account(address).storage["payee"] = payee
+            self.state.credit(address, FAUCET_BALANCE)
+        else:
+            code_id = f"constidx{index}"
+            self.registry.register_assembly(code_id, CONST_INDEXED_ASM)
+        return code_id
 
     # -- sampling helpers -----------------------------------------------------
 

@@ -125,6 +125,11 @@ class ChainProfile:
     num_exchanges: int = 3
     num_pools: int = 4
     num_contracts: int = 0
+    # How many of the contracts (taken from the end of the population)
+    # use dynamic-operand bodies (stack-popped storage keys and call
+    # targets).  Default 0 keeps the stock profiles byte-identical;
+    # the static-analysis bench and CLI opt in via dataclasses.replace.
+    num_dynamic_contracts: int = 0
     user_zipf_exponent: float = 0.8
     exchange_zipf_exponent: float = 1.2
     num_shards: int = 0        # >0 enables Zilliqa-style sharding
@@ -137,6 +142,10 @@ class ChainProfile:
             raise ValueError("end_year must exceed start_year")
         if not self.eras:
             raise ValueError("profile needs at least one era")
+        if not 0 <= self.num_dynamic_contracts <= self.num_contracts:
+            raise ValueError(
+                "num_dynamic_contracts must lie in [0, num_contracts]"
+            )
 
     def era_at(self, year: float) -> Era:
         return interpolate_era(self.eras, year)

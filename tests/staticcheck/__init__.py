@@ -1,0 +1,1 @@
+"""Tests for the static read/write-set analyzer."""

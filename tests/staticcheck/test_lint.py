@@ -1,0 +1,57 @@
+"""Registry lint reports and exit-code conventions."""
+
+from __future__ import annotations
+
+from repro.staticcheck.lint import lint_registry, render_lint_report
+from repro.vm.contract import CodeRegistry, TOKEN_TRANSFER_ASM
+from repro.vm.opcodes import Instruction, Op
+
+
+def make_registry() -> CodeRegistry:
+    registry = CodeRegistry()
+    registry.register_assembly("token", TOKEN_TRANSFER_ASM)
+    registry.register(
+        "broken", (Instruction(op=Op.POP, operand=None),)
+    )
+    registry.register_assembly(
+        "widened", "push 1\nsload n\nsstore $\nstop"
+    )
+    return registry
+
+
+def test_lint_counts_errors_and_warnings():
+    report = lint_registry(make_registry())
+    assert [c.code_id for c in report.contracts] == [
+        "broken", "token", "widened",
+    ]
+    assert report.num_errors == 1
+    assert report.num_warnings == 1
+    by_id = {c.code_id: c for c in report.contracts}
+    assert by_id["token"].clean
+    assert by_id["broken"].num_errors == 1
+    assert by_id["widened"].top_widened
+
+
+def test_exit_codes():
+    report = lint_registry(make_registry())
+    assert report.exit_code() == 1           # has errors
+    clean = lint_registry(make_registry(), code_ids=["token"])
+    assert clean.exit_code() == 0
+    warned = lint_registry(make_registry(), code_ids=["widened"])
+    assert warned.exit_code() == 0
+    assert warned.exit_code(strict=True) == 1
+
+
+def test_code_ids_subset_and_unknown_ids_skipped():
+    report = lint_registry(
+        make_registry(), code_ids=["token", "missing"]
+    )
+    assert [c.code_id for c in report.contracts] == ["token"]
+
+
+def test_render_report_mentions_diagnostics():
+    text = render_lint_report(lint_registry(make_registry()))
+    assert "stack underflow" in text
+    assert "widened to ⊤" in text
+    assert "3 contract(s) checked: 1 error(s), 1 warning(s)" in text
+    assert "token (11 instructions): clean" in text

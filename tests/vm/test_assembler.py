@@ -1,0 +1,117 @@
+"""Assemble-time validation: jump ranges, PUSH tokens, `$` operands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.account.state import WorldState
+from repro.account.transaction import make_account_transaction
+from repro.vm.contract import (
+    AssemblyError,
+    CONST_INDEXED_ASM,
+    CodeRegistry,
+    DYNAMIC_COUNTER_ASM,
+    DYNAMIC_PAYOUT_ASM,
+    TOGGLE_BRANCH_ASM,
+    TOKEN_TRANSFER_ASM,
+    assemble,
+)
+from repro.vm.opcodes import STACK_OPERAND, Op
+from repro.vm.vm import VM
+
+ETHER = 10**18
+
+
+def test_out_of_range_jump_is_an_assembly_error():
+    with pytest.raises(AssemblyError, match=r"line 2: jump target 99"):
+        assemble("push 1\njump 99\nstop")
+
+
+def test_negative_jump_target_is_an_assembly_error():
+    with pytest.raises(AssemblyError, match="out of range"):
+        assemble("jump -1\nstop")
+
+
+def test_in_range_jump_assembles():
+    program = assemble("jump 1\nstop")
+    assert program[0].operand == 1
+
+
+def test_bad_push_token_is_an_assembly_error():
+    with pytest.raises(AssemblyError, match=r"push operand '5x5'"):
+        assemble("push 5x5\nstop")
+
+
+def test_push_accepts_symbols_and_hex():
+    program = assemble("push balance_key\npush 0xabc\nstop")
+    assert program[0].operand == "balance_key"
+    assert program[1].operand == 0xABC  # hex literals parse as ints
+
+
+def test_dynamic_operand_round_trips():
+    program = assemble(
+        "sload $\nsstore $\nbalance $\ncall $ 0\ntransfer $ 2\nstop"
+    )
+    assert program[0].operand == STACK_OPERAND
+    assert program[1].operand == STACK_OPERAND
+    assert program[2].operand == STACK_OPERAND
+    assert program[3].operand == (STACK_OPERAND, 0)
+    assert program[4].operand == (STACK_OPERAND, 2)
+
+
+def test_stock_assemblies_still_assemble():
+    for text in (
+        TOKEN_TRANSFER_ASM,
+        TOGGLE_BRANCH_ASM,
+        DYNAMIC_COUNTER_ASM,
+        DYNAMIC_PAYOUT_ASM,
+        CONST_INDEXED_ASM,
+    ):
+        assert len(assemble(text)) > 0
+
+
+def run_contract(asm: str, storage: dict[str, str] | None = None):
+    registry = CodeRegistry()
+    registry.register_assembly("c", asm)
+    state = WorldState()
+    contract = "0xc"
+    state.account(contract).code_id = "c"
+    state.account(contract).storage.update(storage or {})
+    state.credit(contract, 1000)
+    state.credit("0xuser", ETHER)
+    tx = make_account_transaction(
+        sender="0xuser", receiver=contract, value=0, nonce=0,
+        gas_limit=100_000,
+    )
+    result = state.apply_transaction(
+        tx, executor=VM(registry).execute_transaction
+    )
+    return state, result.receipt, contract
+
+
+def test_vm_sstore_dynamic_pops_key_then_value():
+    # Stack [7, 5]: sstore $ pops key=5, then value=7.
+    state, receipt, contract = run_contract("push 7\npush 5\nsstore $\nstop")
+    assert receipt.success
+    assert state.account(contract).storage["5"] == "7"
+    assert (contract, "5") in receipt.storage_writes
+
+
+def test_vm_transfer_dynamic_pops_target():
+    state, receipt, contract = run_contract(
+        "push 0xdead\ntransfer $ 3\nstop"
+    )
+    assert receipt.success
+    (itx,) = receipt.internal_transactions
+    assert itx.receiver == str(0xDEAD)  # pushed ints resolve via str()
+    assert itx.value == 3
+    assert state.balance_of(str(0xDEAD)) == 3
+
+
+def test_vm_sload_dynamic_pops_key():
+    state, receipt, contract = run_contract(
+        "push 9\nsload $\nsstore out\nstop", storage={"9": "42"}
+    )
+    assert receipt.success
+    assert (contract, "9") in receipt.storage_reads
+    assert state.account(contract).storage["out"] == "42"

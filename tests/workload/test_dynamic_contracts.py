@@ -1,0 +1,79 @@
+"""Dynamic-operand contract population (profiles.num_dynamic_contracts)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.workload.account_workload import AccountWorkloadBuilder
+from repro.workload.profiles import ETHEREUM, get_profile
+
+
+def small(num_dynamic: int) -> AccountWorkloadBuilder:
+    profile = dataclasses.replace(
+        ETHEREUM, num_dynamic_contracts=num_dynamic
+    )
+    return AccountWorkloadBuilder(profile=profile, seed=7, scale=0.05)
+
+
+def test_default_profiles_have_no_dynamic_contracts():
+    assert ETHEREUM.num_dynamic_contracts == 0
+    assert get_profile("ethereum").num_dynamic_contracts == 0
+    builder = AccountWorkloadBuilder(profile=ETHEREUM, seed=7, scale=0.05)
+    assert not any(
+        code_id.startswith(("toggle", "counter", "payout", "constidx"))
+        for code_id in builder.registry.code_ids()
+    )
+
+
+def test_profile_validates_dynamic_count():
+    with pytest.raises(ValueError):
+        dataclasses.replace(ETHEREUM, num_dynamic_contracts=-1)
+    with pytest.raises(ValueError):
+        dataclasses.replace(
+            ETHEREUM,
+            num_dynamic_contracts=ETHEREUM.num_contracts + 1,
+        )
+
+
+def test_dynamic_contracts_rotate_archetypes():
+    builder = small(8)
+    code_ids = set(builder.registry.code_ids())
+    for prefix in ("toggle", "counter", "payout", "constidx"):
+        assert any(c.startswith(prefix) for c in code_ids), prefix
+
+
+def test_payout_contracts_are_seeded_and_funded():
+    builder = small(8)
+    payouts = [
+        actor.address
+        for actor in builder.population.contracts
+        if builder.state.account(actor.address).code_id.startswith("payout")
+    ]
+    assert payouts
+    for address in payouts:
+        account = builder.state.account(address)
+        assert account.storage["payee"]
+        assert account.balance > 0
+
+
+def test_dynamic_contracts_replace_tail_of_population():
+    builder = small(4)
+    contracts = builder.population.contracts
+    tail = contracts[-4:]
+    for actor in tail:
+        code_id = builder.state.account(actor.address).code_id
+        assert code_id.startswith(
+            ("toggle", "counter", "payout", "constidx")
+        )
+    head_code = builder.state.account(contracts[0].address).code_id
+    assert not head_code.startswith(
+        ("toggle", "counter", "payout", "constidx")
+    )
+
+
+def test_dynamic_chain_still_builds_and_validates():
+    builder = small(6)
+    builder.build_chain(3)
+    assert builder.ledger.verify_links()
