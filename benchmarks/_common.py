@@ -13,13 +13,14 @@ Run with::
 
 from __future__ import annotations
 
+import json
+import time
 from functools import lru_cache
 from pathlib import Path
 
 import pytest
 
 from repro import obs
-from repro.obs.exporters import registry_snapshot_json
 from repro.workload.generator import GeneratedChain, generate_chain
 
 OUTPUT_DIR = Path(__file__).parent / "output"
@@ -66,11 +67,24 @@ def write_metrics_snapshot(
     pair with the ``obs_session`` fixture, which installs a recording
     registry around the bench body so every bench can emit the
     instrumentation counters alongside its timing output.
+
+    The file is deterministic apart from the single ``captured_at``
+    field: keys are sorted, the chains are seeded, and the metrics are
+    reduced with :func:`repro.obs.regress.deterministic_metrics` (real
+    wall-clock histograms keep only their observation counts), so two
+    runs of the same bench diff clean except for the timestamp line.
     """
+    from repro.obs.regress import deterministic_metrics
+
     registry = registry if registry is not None else obs.get_registry()
     METRICS_DIR.mkdir(parents=True, exist_ok=True)
     path = METRICS_DIR / f"{name}.json"
-    path.write_text(registry_snapshot_json(registry) + "\n")
+    payload = {
+        "bench": name,
+        "captured_at": time.time(),
+        "metrics": deterministic_metrics(registry.snapshot()),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -475,6 +475,162 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Replay a chain through one executor; emit a Chrome trace.
+
+    Every block runs under the flight recorder; the captured events are
+    exported as Chrome trace-event JSON (``--out`` or stdout) and a
+    per-block measured-vs-analytical table (Eq. 1 / Eq. 2) is printed —
+    to stderr when the JSON goes to stdout, so the trace stays parseable.
+    """
+    from repro import obs
+    from repro.obs.critical_path import (
+        compare_to_bounds,
+        profile_events,
+        record_timeline_metrics,
+        task_conflict_profile,
+    )
+    from repro.obs.exporters import write_chrome_trace
+    from repro.obs.regress import (
+        chain_task_blocks,
+        make_executor,
+        run_block_dag,
+    )
+
+    profile = _resolve_profile(args.chain)
+    if args.jobs < 1:
+        raise CLIError("--jobs must be at least 1")
+    if args.blocks < 1:
+        raise CLIError("--blocks must be at least 1")
+    try:
+        executor = (
+            None if args.executor == "dag"
+            else make_executor(args.executor, args.jobs)
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+
+    info = sys.stderr if not args.out else sys.stdout
+    rows = []
+    with obs.instrumented() as state:
+        recorder = state.recorder
+        for height, tasks, payload in chain_task_blocks(
+            profile, blocks=args.blocks, seed=args.seed, scale=args.scale
+        ):
+            if not tasks:
+                continue
+            conflict = task_conflict_profile(tasks)
+            with recorder.block(height):
+                if executor is None:
+                    report = run_block_dag(profile, payload, args.jobs)
+                else:
+                    report = executor.run(tasks)
+            block_profile = profile_events(
+                recorder.events(executor=report.executor, block=height)
+            )
+            comparison = compare_to_bounds(report, conflict)
+            record_timeline_metrics(block_profile, comparison)
+            flag = "" if comparison.within_eq2 else (
+                " !" if not comparison.strict else " VIOLATION"
+            )
+            rows.append((
+                str(height), str(conflict.x),
+                f"{comparison.measured:.3f}", f"{comparison.eq1:.3f}",
+                f"{comparison.eq2:.3f}{flag}",
+                f"{block_profile.critical_chain_cost:.1f}",
+                f"{block_profile.mean_utilization:.2f}",
+            ))
+        events = recorder.events()
+        if args.out:
+            try:
+                count = write_chrome_trace(args.out, events)
+            except OSError as exc:
+                raise CLIError(f"cannot write trace file: {exc}") from None
+            print(f"wrote {count} trace events to {args.out}", file=info)
+        else:
+            import json
+
+            from repro.obs.exporters import chrome_trace_events
+
+            print(json.dumps(
+                {"traceEvents": chrome_trace_events(events),
+                 "displayTimeUnit": "ms"},
+            ))
+    print(render_table(
+        ["block", "txs", "measured R", "Eq.1 R", "Eq.2 bound",
+         "crit path", "util"],
+        rows,
+        title=(
+            f"{args.chain} / {args.executor} on {args.jobs} lanes "
+            "(! = bound legitimately exceeded; see docs/observability.md)"
+        ),
+    ), file=info)
+    return 0
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    """Compare a fresh deterministic snapshot against the baseline.
+
+    Exit 0 when every key is within tolerance, 1 on any regression,
+    2 on usage errors (missing baseline, unknown chain, bad schema).
+    With ``--update`` the baseline file is (re)written instead.
+    """
+    from repro.obs.regress import (
+        DEFAULT_EXECUTORS,
+        build_snapshot,
+        compare_snapshots,
+        load_snapshot,
+        tolerances_from_spec,
+        write_snapshot,
+    )
+
+    if args.update:
+        try:
+            snapshot = build_snapshot(
+                chain=args.chain, blocks=args.blocks, cores=args.cores,
+                seed=args.seed,
+            )
+        except ValueError as exc:
+            raise CLIError(str(exc)) from None
+        write_snapshot(args.baseline, snapshot)
+        print(f"wrote baseline snapshot to {args.baseline}")
+        return 0
+
+    try:
+        baseline = load_snapshot(args.baseline)
+    except FileNotFoundError:
+        raise CLIError(
+            f"baseline {args.baseline!r} not found; create it with "
+            "--update"
+        ) from None
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    try:
+        tolerances = tolerances_from_spec(baseline.pop("tolerances", {}))
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+
+    workload = baseline.get("workload", {})
+    try:
+        fresh = build_snapshot(
+            chain=workload.get("chain", args.chain),
+            blocks=int(workload.get("blocks", args.blocks)),
+            cores=int(workload.get("cores", args.cores)),
+            seed=int(workload.get("seed", args.seed)),
+            executors=tuple(
+                workload.get("executors") or DEFAULT_EXECUTORS
+            ),
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    if args.snapshot_out:
+        write_snapshot(args.snapshot_out, fresh)
+        print(f"wrote fresh snapshot to {args.snapshot_out}")
+    report = compare_snapshots(baseline, fresh, tolerances=tolerances)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_staticcheck(args: argparse.Namespace) -> int:
     """Lint a workload's contract registry with the static analyzer.
 
@@ -597,6 +753,66 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--prometheus-out", default="",
                      help="also write a Prometheus text-format snapshot")
     sub.set_defaults(func=cmd_profile)
+
+    sub = subparsers.add_parser(
+        "timeline",
+        help="replay one executor with the flight recorder; emit a "
+             "Chrome trace and measured-vs-analytical bounds",
+    )
+    known = ", ".join(sorted(PROFILES_BY_NAME))
+    sub.add_argument(
+        "--chain", required=True, metavar="NAME",
+        help=f"which blockchain profile to replay (one of: {known})",
+    )
+    from repro.obs.regress import EXECUTOR_CHOICES
+
+    sub.add_argument(
+        "--executor", default="speculative", choices=EXECUTOR_CHOICES,
+        help="execution engine to record (default: speculative)",
+    )
+    sub.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="simulated worker lanes / cores (default: 4)",
+    )
+    sub.add_argument("--blocks", type=int, default=20,
+                     help="number of blocks to replay")
+    sub.add_argument("--seed", type=int, default=0,
+                     help="determinism seed")
+    sub.add_argument("--scale", type=float, default=1.0,
+                     help="transaction-volume multiplier")
+    sub.add_argument(
+        "--out", default="",
+        help="write the Chrome trace JSON here (default: stdout)",
+    )
+    sub.set_defaults(func=cmd_timeline)
+
+    sub = subparsers.add_parser(
+        "regress",
+        help="diff a fresh deterministic snapshot against the checked-in "
+             "baseline (exit 1 on regression)",
+    )
+    sub.add_argument(
+        "--baseline", default="tests/obs/baseline/regress_baseline.json",
+        help="baseline snapshot path",
+    )
+    sub.add_argument(
+        "--update", action="store_true",
+        help="(re)write the baseline from the current code instead of "
+             "comparing",
+    )
+    sub.add_argument(
+        "--snapshot-out", default="",
+        help="also write the fresh snapshot here (CI artifact)",
+    )
+    sub.add_argument("--chain", default="ethereum",
+                     help="workload chain (with --update)")
+    sub.add_argument("--blocks", type=int, default=10,
+                     help="workload blocks (with --update)")
+    sub.add_argument("--cores", type=int, default=4,
+                     help="simulated cores (with --update)")
+    sub.add_argument("--seed", type=int, default=2020,
+                     help="determinism seed (with --update)")
+    sub.set_defaults(func=cmd_regress)
 
     sub = subparsers.add_parser(
         "staticcheck",

@@ -41,13 +41,18 @@ Observability (parent process only; see ``docs/parallel_pipeline.md``):
 * counters ``pipeline.parallel.runs`` / ``.chunks`` / ``.blocks`` /
   ``.fallbacks`` and gauge ``pipeline.parallel.jobs`` (all labelled by
   backend);
-* histogram ``pipeline.parallel.chunk_seconds`` of in-worker chunk times.
+* histogram ``pipeline.parallel.chunk_seconds`` of in-worker chunk times;
+* chunk-granularity flight-recorder events (``pipeline.<backend>``
+  executor, one schedule/start/commit triple per chunk, clocks in real
+  seconds since collection began).
 
-Note that the per-block ``pipeline.blocks`` / ``tdg.*`` instrumentation
-fires inside the worker, so under the ``process`` backend it lands in
-the worker's (discarded) registry; only the in-process backends
-(``serial``, ``thread``) contribute those families to the installed
-registry.
+The per-block ``pipeline.blocks`` / ``tdg.*`` instrumentation fires
+inside the worker.  In-process backends (``serial``, ``thread``) record
+straight into the installed registry; under the ``process`` backend each
+chunk runs inside a private worker registry whose lossless dump rides
+back with the chunk result and is merged into the parent registry at join
+(counters sum, histogram observations concatenate), so metric totals
+match the serial walk for every backend.
 """
 
 from __future__ import annotations
@@ -224,6 +229,27 @@ def analyze_chunk(
     return records, time.perf_counter() - started
 
 
+class ChunkResult:
+    """What a worker ships back for one chunk.
+
+    ``obs_dump`` is the worker-local registry dump (see
+    :meth:`repro.obs.metrics.MetricsRegistry.dump`) when the chunk ran
+    with worker-side recording (process backend under an instrumented
+    parent), else ``None``; ``worker_id`` identifies the worker (pid for
+    processes, thread id for threads) so the parent can map chunks onto
+    stable flight-recorder lanes.
+    """
+
+    __slots__ = ("records", "elapsed", "worker_id", "obs_dump")
+
+    def __init__(self, records: list[BlockRecord], elapsed: float,
+                 worker_id: int, obs_dump: list[dict] | None):
+        self.records = records
+        self.elapsed = elapsed
+        self.worker_id = worker_id
+        self.obs_dump = obs_dump
+
+
 def _worker_init() -> None:
     """Process-pool worker initializer.
 
@@ -235,9 +261,11 @@ def _worker_init() -> None:
     measured at ~5x wall-time overhead on a 2k-block chain.
 
     ``obs.uninstall()`` drops any recording registry/tracer inherited
-    from an instrumented parent: a worker's recordings are discarded
-    with its process, so recording them is pure overhead.  Parent-side
-    ``pipeline.parallel.*`` instrumentation is unaffected.
+    from an instrumented parent: recording into it would be invisible to
+    the parent anyway (the fork copy dies with the worker).  When the
+    parent *is* instrumented it instead asks for worker-side recording
+    per chunk (``record_obs=True``), which scopes a private registry
+    around the chunk and ships its dump back for merging at join.
     """
     import gc
 
@@ -245,19 +273,33 @@ def _worker_init() -> None:
     obs.uninstall()
 
 
+def _run_chunk(
+    data_model: str, chunk: Sequence[BlockInput], record_obs: bool
+) -> ChunkResult:
+    """Analyze a chunk, optionally under a private worker registry."""
+    worker_id = os.getpid()
+    if record_obs and not obs.get_registry().enabled:
+        with obs.instrumented() as state:
+            records, elapsed = analyze_chunk(data_model, chunk)
+        dump = state.registry.dump()
+        return ChunkResult(records, elapsed, worker_id, dump)
+    records, elapsed = analyze_chunk(data_model, chunk)
+    return ChunkResult(records, elapsed, worker_id, None)
+
+
 def _analyze_chunk_by_range(
-    start: int, stop: int
-) -> tuple[list[BlockRecord], float]:
+    start: int, stop: int, record_obs: bool = False
+) -> ChunkResult:
     """Fork-path worker entry: slice the inherited inputs by index."""
     assert _FORK_INPUTS is not None and _FORK_MODEL is not None
-    return analyze_chunk(_FORK_MODEL, _FORK_INPUTS[start:stop])
+    return _run_chunk(_FORK_MODEL, _FORK_INPUTS[start:stop], record_obs)
 
 
 def _analyze_chunk_explicit(
-    data_model: str, chunk: Sequence[BlockInput]
-) -> tuple[list[BlockRecord], float]:
+    data_model: str, chunk: Sequence[BlockInput], record_obs: bool = False
+) -> ChunkResult:
     """Spawn-path / thread-pool worker entry: chunk shipped explicitly."""
-    return analyze_chunk(data_model, chunk)
+    return _run_chunk(data_model, chunk, record_obs)
 
 
 # -- the fan-out itself -------------------------------------------------------
@@ -265,9 +307,26 @@ def _analyze_chunk_explicit(
 
 def _collect_ordered(futures, *, backend: str,
                      bounds: Sequence[tuple[int, int]]) -> list[BlockRecord]:
-    """Gather chunk futures in submission (= height) order, recording obs."""
+    """Gather chunk futures in submission (= height) order, recording obs.
+
+    Joins three observability streams in the parent: the per-chunk
+    span/histogram family, any worker-side registry dumps (merged into
+    the installed registry, closing the process-backend blind spot), and
+    chunk-granularity flight-recorder events.  Timeline clocks here are
+    *real seconds* since collection began (the pipeline has no simulated
+    cost units); a chunk's ``start`` is inferred as arrival time minus
+    its in-worker elapsed, and lanes index distinct worker ids in order
+    of first appearance.
+    """
+    from repro.obs.timeline import QUEUE_LANE
+
     seconds = obs.histogram("pipeline.parallel.chunk_seconds",
                             backend=backend)
+    registry = obs.get_registry()
+    recorder = obs.get_recorder()
+    executor_name = f"pipeline.{backend}"
+    lanes: dict[int, int] = {}
+    collect_start = time.perf_counter()
     records: list[BlockRecord] = []
     for index, future in enumerate(futures):
         start, stop = bounds[index]
@@ -275,10 +334,25 @@ def _collect_ordered(futures, *, backend: str,
             "pipeline.parallel.chunk",
             index=index, start=start, blocks=stop - start, backend=backend,
         ) as span:
-            chunk_records, elapsed = future.result()
-            span.set(worker_seconds=round(elapsed, 6))
-        seconds.observe(elapsed)
-        records.extend(chunk_records)
+            result = future.result()
+            span.set(worker_seconds=round(result.elapsed, 6))
+        seconds.observe(result.elapsed)
+        if result.obs_dump is not None:
+            registry.merge_dump(result.obs_dump)
+        if recorder.enabled:
+            lane = lanes.setdefault(result.worker_id, len(lanes))
+            arrival = time.perf_counter() - collect_start
+            begun = max(0.0, arrival - result.elapsed)
+            task = f"chunk[{start}:{stop})"
+            recorder.extend([
+                (executor_name, None, 0, "schedule", task, QUEUE_LANE,
+                 0.0, 0.0),
+                (executor_name, None, 0, "start", task, lane,
+                 begun, result.elapsed),
+                (executor_name, None, 0, "commit", task, lane,
+                 arrival, result.elapsed),
+            ])
+        records.extend(result.records)
     return records
 
 
@@ -302,6 +376,11 @@ def _run_process_pool(
         context = multiprocessing.get_context()
         fork_sharing = False
 
+    # Workers start with obs uninstalled (_worker_init); when the parent
+    # is instrumented, ask each chunk to record into a private worker
+    # registry whose dump is merged back at join.
+    record_obs = obs.get_registry().enabled
+
     if fork_sharing:
         _FORK_INPUTS, _FORK_MODEL = inputs, data_model
     try:
@@ -310,14 +389,16 @@ def _run_process_pool(
         ) as pool:
             if fork_sharing:
                 futures = [
-                    pool.submit(_analyze_chunk_by_range, start, stop)
+                    pool.submit(
+                        _analyze_chunk_by_range, start, stop, record_obs
+                    )
                     for start, stop in bounds
                 ]
             else:
                 futures = [
                     pool.submit(
                         _analyze_chunk_explicit, data_model,
-                        inputs[start:stop],
+                        inputs[start:stop], record_obs,
                     )
                     for start, stop in bounds
                 ]

@@ -9,7 +9,13 @@ from repro.execution.engine import (
     tasks_from_tdg,
     tasks_from_utxo_block,
 )
-from repro.execution.dag import DependencyDAG, account_dag, utxo_dag
+from repro.execution.dag import (
+    DAGSchedule,
+    DependencyDAG,
+    account_dag,
+    run_dag,
+    utxo_dag,
+)
 from repro.execution.grouped import GroupedExecutor
 from repro.execution.occ import OCCExecutor
 from repro.execution.simulator import CoreSimulator, SimulatedRun
@@ -28,8 +34,10 @@ __all__ = [
     "tasks_from_account_block",
     "tasks_from_tdg",
     "tasks_from_utxo_block",
+    "DAGSchedule",
     "DependencyDAG",
     "account_dag",
+    "run_dag",
     "utxo_dag",
     "GroupedExecutor",
     "OCCExecutor",

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro import obs
+from repro.obs.timeline import sequential_rows
 from repro.account.receipts import ExecutedTransaction
 from repro.core.components import UnionFind
 from repro.core.tdg import TDGResult
@@ -143,6 +144,7 @@ class SequentialExecutor:
     def run(self, tasks: Sequence[TxTask], cores: int = 1) -> ExecutionReport:
         """Execute in block order on one core; wall time is total work."""
         total = sum(task.cost for task in tasks)
+        sequential_rows(obs.get_recorder(), self.name, tasks)
         report = ExecutionReport(
             executor=self.name,
             cores=1,

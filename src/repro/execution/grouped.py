@@ -24,6 +24,7 @@ from repro.execution.engine import (
     record_report,
 )
 from repro.execution.simulator import CoreSimulator
+from repro.obs.timeline import wave_rows
 
 
 @dataclass
@@ -83,6 +84,16 @@ class GroupedExecutor:
                     key=lambda group: -sum(task.cost for task in group)
                 )
             run = CoreSimulator(self.cores).run_chains(ordered)
+            recorder = obs.get_recorder()
+            if recorder.enabled:
+                # One wave: every task has its chain-scheduled start,
+                # finish and core; the TDG pass (scheduling_cost) shifts
+                # the whole schedule right.
+                wave_rows(
+                    recorder, self.name,
+                    [task for group in ordered for task in group],
+                    run, offset=self.scheduling_cost,
+                )
             if obs.enabled():
                 span.set(tasks=len(tasks), groups=len(ordered))
                 obs.counter("exec.grouped.groups").inc(len(ordered))

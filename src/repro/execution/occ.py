@@ -21,6 +21,7 @@ from typing import Sequence
 from repro import obs
 from repro.execution.engine import ExecutionReport, TxTask, record_report
 from repro.execution.simulator import CoreSimulator
+from repro.obs.timeline import wave_log_rows
 
 MAX_WAVES = 10_000
 
@@ -49,11 +50,13 @@ class OCCExecutor:
             )
         with obs.trace_span("exec.occ.run", cores=self.cores) as span:
             recording = obs.enabled()
+            recorder = obs.get_recorder()
             simulator = CoreSimulator(self.cores)
             pending = list(tasks)
             wall = 0.0
             aborts = 0
             waves = 0
+            wave_log: list[tuple] = []
             while pending:
                 waves += 1
                 if waves > MAX_WAVES:
@@ -62,6 +65,7 @@ class OCCExecutor:
                     obs.histogram("exec.occ.queue_depth").observe(
                         len(pending)
                     )
+                wave_offset = wall
                 run = simulator.run_wave(pending)
                 wall += run.makespan
                 committed_writes: set[str] = set()
@@ -73,7 +77,13 @@ class OCCExecutor:
                         next_round.append(task)
                     else:
                         committed_writes |= task.writes
+                if recorder.enabled:
+                    # One log entry per wave; wave_log_rows expands the
+                    # whole run (schedule on wave 0, retries at each
+                    # wave boundary) in a single deferred batch.
+                    wave_log.append((pending, run, wave_offset, next_round))
                 pending = next_round
+            wave_log_rows(recorder, self.name, wave_log)
             if recording:
                 span.set(tasks=len(tasks), aborts=aborts, waves=waves)
                 obs.counter("exec.occ.aborts").inc(aborts)

@@ -24,6 +24,7 @@ from repro.execution.engine import (
     record_report,
 )
 from repro.execution.simulator import CoreSimulator
+from repro.obs.timeline import sequential_rows, wave_rows
 
 
 def split_conflicted(
@@ -68,6 +69,18 @@ class SpeculativeExecutor:
             phase_one = simulator.run_wave(tasks)
             _clean, binned = split_conflicted(tasks)
             phase_two = sum(task.cost for task in binned)
+            recorder = obs.get_recorder()
+            if recorder.enabled:
+                # Phase one: every task runs optimistically; the binned
+                # ones abort at their finish.  Phase two replays the bin
+                # sequentially on lane 0 after the parallel makespan.
+                wave_rows(
+                    recorder, self.name, tasks, phase_one, aborted=binned,
+                )
+                sequential_rows(
+                    recorder, self.name, binned,
+                    offset=phase_one.makespan, round_index=1, retry=True,
+                )
             if obs.enabled():
                 span.set(tasks=len(tasks), reexecuted=len(binned))
                 obs.counter("exec.speculative.reexecuted").inc(len(binned))
@@ -124,8 +137,24 @@ class InformedSpeculativeExecutor:
         ) as span:
             clean, binned = split_conflicted(tasks)
             simulator = CoreSimulator(self.cores)
-            phase_one = simulator.run_wave(clean).makespan if clean else 0.0
+            clean_run = simulator.run_wave(clean) if clean else None
+            phase_one = clean_run.makespan if clean_run else 0.0
             phase_two = sum(task.cost for task in binned)
+            recorder = obs.get_recorder()
+            if recorder.enabled:
+                # Perfect information: the bin is known up front, so its
+                # tasks execute exactly once, sequentially, after the
+                # preprocessing charge K and the clean parallel wave.
+                if clean_run is not None:
+                    wave_rows(
+                        recorder, self.name, clean, clean_run,
+                        offset=self.preprocessing_cost,
+                    )
+                sequential_rows(
+                    recorder, self.name, binned,
+                    offset=self.preprocessing_cost + phase_one,
+                    round_index=1,
+                )
             if obs.enabled():
                 span.set(tasks=len(tasks), binned=len(binned))
                 obs.counter("exec.speculative-informed.binned").inc(

@@ -29,6 +29,7 @@ from repro.execution.engine import (
     record_report,
 )
 from repro.execution.simulator import CoreSimulator
+from repro.obs.timeline import sequential_rows, wave_rows
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.staticcheck.predict import PredictedAccess
@@ -96,7 +97,8 @@ class StaticInformedExecutor:
             clean = [t for t in tasks if t.tx_hash not in conflicted]
             binned = [t for t in tasks if t.tx_hash in conflicted]
             simulator = CoreSimulator(self.cores)
-            phase_one = simulator.run_wave(clean).makespan if clean else 0.0
+            clean_run = simulator.run_wave(clean) if clean else None
+            phase_one = clean_run.makespan if clean_run else 0.0
             # Safety net: validate the parallel wave against the
             # *runtime* conflict relation.  Sound predictions make this
             # a no-op; it only charges work if a true conflict slipped
@@ -108,6 +110,27 @@ class StaticInformedExecutor:
             phase_two = sum(task.cost for task in binned) + sum(
                 task.cost for task in aborted
             )
+            recorder = obs.get_recorder()
+            if recorder.enabled:
+                # Clean wave after the analysis charge K; tasks the
+                # safety net catches abort there and re-run in phase
+                # two together with the statically binned ones.
+                if clean_run is not None:
+                    wave_rows(
+                        recorder, self.name, clean, clean_run,
+                        offset=self.preprocessing_cost,
+                        aborted=aborted,
+                    )
+                bin_offset = self.preprocessing_cost + phase_one
+                sequential_rows(
+                    recorder, self.name, binned,
+                    offset=bin_offset, round_index=1,
+                )
+                sequential_rows(
+                    recorder, self.name, aborted,
+                    offset=bin_offset + sum(t.cost for t in binned),
+                    round_index=1, retry=True,
+                )
             if obs.enabled():
                 span.set(
                     tasks=len(tasks),

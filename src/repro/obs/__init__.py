@@ -1,4 +1,4 @@
-"""Instrumentation layer: metrics registry, span tracer, exporters.
+"""Instrumentation layer: metrics, span tracer, flight recorder, exporters.
 
 The rest of the codebase talks to this package through four module
 functions that dispatch to a process-global observability state::
@@ -49,21 +49,31 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NoopMetricsRegistry,
 )
+from repro.obs.timeline import (
+    NOOP_RECORDER,
+    FlightRecorder,
+    NoopFlightRecorder,
+    TimelineEvent,
+)
 from repro.obs.tracer import NOOP_TRACER, NoopTracer, Span, Tracer
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NoopFlightRecorder",
     "NoopMetricsRegistry",
     "NoopTracer",
     "ObservabilityState",
     "Span",
+    "TimelineEvent",
     "Tracer",
     "counter",
     "enabled",
     "gauge",
+    "get_recorder",
     "get_registry",
     "get_tracer",
     "histogram",
@@ -76,17 +86,21 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ObservabilityState:
-    """One (registry, tracer) pair — what ``instrumented`` yields."""
+    """One (registry, tracer, recorder) triple — ``instrumented`` yields it."""
 
     registry: MetricsRegistry
     tracer: Tracer
+    recorder: FlightRecorder = NOOP_RECORDER
 
     @property
     def enabled(self) -> bool:
-        return self.registry.enabled or self.tracer.enabled
+        return (self.registry.enabled or self.tracer.enabled
+                or self.recorder.enabled)
 
 
-_NOOP_STATE = ObservabilityState(registry=NOOP_REGISTRY, tracer=NOOP_TRACER)
+_NOOP_STATE = ObservabilityState(
+    registry=NOOP_REGISTRY, tracer=NOOP_TRACER, recorder=NOOP_RECORDER
+)
 _state: ObservabilityState = _NOOP_STATE
 
 
@@ -107,15 +121,26 @@ def get_tracer() -> Tracer:
     return _state.tracer
 
 
+def get_recorder() -> FlightRecorder:
+    return _state.recorder
+
+
 def install(
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    recorder: FlightRecorder | None = None,
 ) -> ObservabilityState:
-    """Install a recording state process-wide; returns it."""
+    """Install a recording state process-wide; returns it.
+
+    Any component left ``None`` gets a fresh recording instance; pass
+    the explicit no-op singleton (e.g. ``NOOP_RECORDER``) to keep one
+    component disabled while the others record.
+    """
     global _state
     _state = ObservabilityState(
         registry=registry if registry is not None else MetricsRegistry(),
         tracer=tracer if tracer is not None else Tracer(),
+        recorder=recorder if recorder is not None else FlightRecorder(),
     )
     return _state
 
@@ -130,11 +155,12 @@ def uninstall() -> None:
 def instrumented(
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    recorder: FlightRecorder | None = None,
 ) -> Iterator[ObservabilityState]:
     """Scoped recording: install on entry, restore the prior state after."""
     global _state
     previous = _state
-    state = install(registry=registry, tracer=tracer)
+    state = install(registry=registry, tracer=tracer, recorder=recorder)
     try:
         yield state
     finally:

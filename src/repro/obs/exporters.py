@@ -10,15 +10,22 @@ Three consumers, three formats:
   snapshots can be scraped or diffed with existing tooling.
 * :func:`render_summary` — human-readable tables (reusing the bench
   report renderer) aggregating spans by name and listing counters.
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` — the
+  flight recorder's timeline as Chrome trace-event JSON, loadable in
+  ``chrome://tracing`` or Perfetto (executors as processes, lanes as
+  threads, one slice per task execution).
 """
 
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
+from typing import Sequence
 
 from repro.analysis.report import render_table
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timeline import QUEUE_LANE, TimelineEvent
 from repro.obs.tracer import Span, Tracer
 
 TRACE_SCHEMA_VERSION = 1
@@ -108,10 +115,46 @@ def read_trace_jsonl(
 # -- Prometheus text format ---------------------------------------------------
 
 
+_NAME_OK = re.compile(r"[a-zA-Z0-9_:]")
+_LABEL_OK = re.compile(r"[a-zA-Z0-9_]")
+
+
 def _prom_name(name: str) -> str:
-    """Dotted names become underscore names (``exec.occ.aborts`` ->
-    ``exec_occ_aborts``) per the exposition-format charset."""
-    return name.replace(".", "_").replace("-", "_")
+    """Sanitize a metric name to the exposition-format charset.
+
+    Metric names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``: every
+    out-of-charset character (dots, dashes, spaces, quotes, ...) becomes
+    ``_``, and a leading digit gains a ``_`` prefix.
+    """
+    sanitized = "".join(
+        ch if _NAME_OK.fullmatch(ch) else "_" for ch in name
+    )
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_label_name(name: str) -> str:
+    """Label names follow the metric-name rule, minus colons."""
+    sanitized = "".join(
+        ch if _LABEL_OK.fullmatch(ch) else "_" for ch in name
+    )
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format escapes; everything else passes through verbatim.
+    """
+    return (
+        value.replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
 
 
 def _prom_labels(labels: tuple[tuple[str, str], ...],
@@ -119,8 +162,10 @@ def _prom_labels(labels: tuple[tuple[str, str], ...],
     items = labels + extra
     if not items:
         return ""
-    rendered = ",".join(f'{_prom_name(key)}="{value}"'
-                        for key, value in items)
+    rendered = ",".join(
+        f'{_prom_label_name(key)}="{_prom_label_value(value)}"'
+        for key, value in items
+    )
     return f"{{{rendered}}}"
 
 
@@ -128,7 +173,10 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     """Render a registry in the Prometheus text exposition format.
 
     Histograms are exported as summaries: ``<name>{quantile="0.5"}``
-    lines plus ``_sum`` and ``_count``.
+    lines plus ``_sum`` and ``_count``.  A histogram with no
+    observations renders only ``_sum``/``_count`` — quantiles of an
+    empty distribution are undefined, and fabricating zeros would read
+    as measurements.
     """
     lines: list[str] = []
     for metric in registry.iter_metrics():
@@ -146,12 +194,13 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         elif isinstance(metric, Histogram):
             summary = metric.summary()
             lines.append(f"# TYPE {name} summary")
-            for quantile, key in (("0.5", "p50"), ("0.9", "p90"),
-                                  ("0.99", "p99")):
-                label_str = _prom_labels(
-                    metric.labels, (("quantile", quantile),)
-                )
-                lines.append(f"{name}{label_str} {summary[key]:g}")
+            if summary["count"]:
+                for quantile, key in (("0.5", "p50"), ("0.9", "p90"),
+                                      ("0.99", "p99")):
+                    label_str = _prom_labels(
+                        metric.labels, (("quantile", quantile),)
+                    )
+                    lines.append(f"{name}{label_str} {summary[key]:g}")
             base = _prom_labels(metric.labels)
             lines.append(f"{name}_sum{base} {summary['sum']:g}")
             lines.append(f"{name}_count{base} {summary['count']:g}")
@@ -203,10 +252,17 @@ def render_summary(tracer: Tracer, registry: MetricsRegistry) -> str:
         ))
     histograms = snapshot["histograms"]
     if histograms:
+        # Zero-count histograms carry no percentile keys; show a dash
+        # rather than inventing numbers.
         rows = [
-            (key, summary["count"], f"{summary['mean']:.4g}",
-             f"{summary['p50']:.4g}", f"{summary['p90']:.4g}",
-             f"{summary['max']:.4g}")
+            (
+                key,
+                summary["count"],
+                f"{summary['mean']:.4g}" if summary["count"] else "-",
+                f"{summary['p50']:.4g}" if summary["count"] else "-",
+                f"{summary['p90']:.4g}" if summary["count"] else "-",
+                f"{summary['max']:.4g}" if summary["count"] else "-",
+            )
             for key, summary in sorted(histograms.items())
         ]
         parts.append(render_table(
@@ -224,13 +280,162 @@ def registry_snapshot_json(registry: MetricsRegistry) -> str:
     return json.dumps(registry.snapshot(), indent=2, sort_keys=True)
 
 
+# -- Chrome trace-event format ------------------------------------------------
+
+# One simulated cost unit renders as 1 ms (1000 µs) on the trace
+# timeline — wide enough that unit-cost transactions are visible in
+# chrome://tracing / Perfetto without zooming.
+COST_UNIT_US = 1000.0
+
+_QUEUE_TID = 0
+
+
+def _lane_tid(lane: int) -> int:
+    """Map recorder lanes onto trace thread ids (queue gets tid 0)."""
+    return _QUEUE_TID if lane == QUEUE_LANE else lane + 1
+
+
+def chrome_trace_events(
+    events: Sequence[TimelineEvent],
+    *,
+    clock_unit_us: float = COST_UNIT_US,
+) -> list[dict[str, object]]:
+    """Convert flight-recorder events into Chrome trace-event dicts.
+
+    The mapping, loadable in ``chrome://tracing`` or Perfetto:
+
+    * each executor becomes a *process* (``pid`` in first-appearance
+      order, named via ``process_name`` metadata);
+    * each lane becomes a *thread* (``tid = lane + 1``; the queue
+      pseudo-lane is ``tid 0``), named via ``thread_name`` metadata;
+    * each start→commit/abort pair becomes a complete (``"X"``) slice
+      whose ``args`` carry the block, round and outcome;
+    * ``schedule``/``retry`` events become thread-scoped instants
+      (``"i"``) on the queue thread.
+
+    Executors replay every block from logical clock 0, so blocks are
+    laid out side by side: each block gets a global offset equal to the
+    cumulative extent of the blocks recorded before it (shared across
+    executors, keeping per-block columns comparable).
+    """
+    # Global per-block offsets, first-appearance order.
+    extents: dict[int | None, float] = {}
+    block_order: list[int | None] = []
+    for event in events:
+        if event.block not in extents:
+            block_order.append(event.block)
+            extents[event.block] = 0.0
+        end = event.clock + (event.cost if event.kind == "start" else 0.0)
+        extents[event.block] = max(extents[event.block], end)
+    offsets: dict[int | None, float] = {}
+    cursor = 0.0
+    for block in block_order:
+        offsets[block] = cursor
+        cursor += extents[block]
+
+    out: list[dict[str, object]] = []
+    pid_of: dict[str, int] = {}
+    named_threads: set[tuple[int, int]] = set()
+    open_starts: dict[tuple[str, str, int, int], TimelineEvent] = {}
+
+    def pid_for(executor: str) -> int:
+        pid = pid_of.get(executor)
+        if pid is None:
+            pid = len(pid_of) + 1
+            pid_of[executor] = pid
+            out.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": executor},
+            })
+        return pid
+
+    def name_thread(pid: int, tid: int) -> None:
+        if (pid, tid) in named_threads:
+            return
+        named_threads.add((pid, tid))
+        label = "queue" if tid == _QUEUE_TID else f"lane {tid - 1}"
+        out.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": label},
+        })
+
+    for event in events:
+        pid = pid_for(event.executor)
+        ts = (offsets[event.block] + event.clock) * clock_unit_us
+        if event.kind == "start":
+            key = (event.executor, event.task, event.round, event.lane)
+            open_starts[key] = event
+        elif event.kind in ("commit", "abort"):
+            key = (event.executor, event.task, event.round, event.lane)
+            begun = open_starts.pop(key, None)
+            if begun is None:
+                continue
+            tid = _lane_tid(event.lane)
+            name_thread(pid, tid)
+            start_ts = (offsets[event.block] + begun.clock) * clock_unit_us
+            out.append({
+                "ph": "X",
+                "name": event.task,
+                "cat": "execution",
+                "pid": pid,
+                "tid": tid,
+                "ts": start_ts,
+                "dur": max(0.0, ts - start_ts),
+                "args": {
+                    "block": event.block,
+                    "round": event.round,
+                    "cost": event.cost,
+                    "outcome": event.kind,
+                },
+            })
+        else:  # schedule / retry — queue-side instants
+            tid = _lane_tid(QUEUE_LANE)
+            name_thread(pid, tid)
+            out.append({
+                "ph": "i",
+                "name": f"{event.kind} {event.task}",
+                "cat": event.kind,
+                "s": "t",
+                "pid": pid,
+                "tid": tid,
+                "ts": ts,
+                "args": {"block": event.block, "round": event.round},
+            })
+    return out
+
+
+def write_chrome_trace(
+    path: str | Path,
+    events: Sequence[TimelineEvent],
+    *,
+    clock_unit_us: float = COST_UNIT_US,
+) -> int:
+    """Write *events* as a Chrome trace JSON file; returns event count.
+
+    The file is the object form (``{"traceEvents": [...]}``) with
+    ``displayTimeUnit: "ms"``, which both catapult and Perfetto accept.
+    """
+    trace_events = chrome_trace_events(events, clock_unit_us=clock_unit_us)
+    payload = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema_version": TRACE_SCHEMA_VERSION,
+                      "clock_unit_us": clock_unit_us},
+    }
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+    return len(trace_events)
+
+
 __all__ = [
+    "COST_UNIT_US",
     "TRACE_SCHEMA_VERSION",
+    "chrome_trace_events",
     "read_trace_jsonl",
     "registry_snapshot_json",
     "render_prometheus",
     "render_summary",
     "span_from_record",
     "span_record",
+    "write_chrome_trace",
     "write_trace_jsonl",
 ]

@@ -17,7 +17,7 @@ Two registry implementations share one interface:
 from __future__ import annotations
 
 import threading
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
 
 LabelItems = tuple[tuple[str, str], ...]
 
@@ -130,12 +130,16 @@ class Histogram:
         return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
 
     def summary(self) -> dict[str, float]:
-        """Count, sum, extremes, and the standard percentile trio."""
+        """Count, sum, extremes, and the standard percentile trio.
+
+        An empty histogram reports only ``count``/``sum``: its extremes
+        and percentiles are undefined, and exporting zeros for them
+        would be indistinguishable from real zero observations.
+        """
         with self._lock:
             values = list(self._values)
         if not values:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+            return {"count": 0, "sum": 0.0}
         return {
             "count": len(values),
             "sum": sum(values),
@@ -208,6 +212,62 @@ class MetricsRegistry:
             "gauges": gauges,
             "histograms": histograms,
         }
+
+    def dump(self) -> list[dict[str, object]]:
+        """Lossless, picklable dump for cross-process merging.
+
+        Unlike :meth:`snapshot` (which summarises histograms), the dump
+        retains raw histogram observations so a parent registry can
+        merge a worker's recordings without losing percentile fidelity.
+        One record per metric: ``{"kind", "name", "labels", ...}`` with
+        ``value`` for counters/gauges and ``values`` for histograms.
+        """
+        records: list[dict[str, object]] = []
+        for metric in self.iter_metrics():
+            record: dict[str, object] = {
+                "name": metric.name,
+                "labels": list(metric.labels),
+            }
+            if isinstance(metric, Counter):
+                record["kind"] = "counter"
+                record["value"] = metric.value
+            elif isinstance(metric, Gauge):
+                record["kind"] = "gauge"
+                record["value"] = metric.value
+            else:
+                record["kind"] = "histogram"
+                with metric._lock:
+                    record["values"] = list(metric._values)
+            records.append(record)
+        return records
+
+    def merge_dump(self, records: Iterable[dict[str, object]]) -> None:
+        """Fold a :meth:`dump` from another registry into this one.
+
+        Counters sum, histograms concatenate their observations, and
+        gauges adopt the dumped value (last write wins — gauges are
+        point-in-time readings, not accumulators).  Used to fold
+        process-pool workers' recordings into the parent registry at
+        join, closing the ``--backend process`` observability gap.
+        """
+        for record in records:
+            labels = dict(record["labels"])  # type: ignore[arg-type]
+            name = str(record["name"])
+            kind = record["kind"]
+            if kind == "counter":
+                self.counter(name, **labels).inc(
+                    float(record["value"])  # type: ignore[arg-type]
+                )
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(
+                    float(record["value"])  # type: ignore[arg-type]
+                )
+            elif kind == "histogram":
+                histogram = self.histogram(name, **labels)
+                for value in record["values"]:  # type: ignore[union-attr]
+                    histogram.observe(float(value))  # type: ignore[arg-type]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
 
 
 class _NoopCounter(Counter):

@@ -288,3 +288,69 @@ class TestComponentEquivalence:
         for nodes, edges in cases:
             bfs, dsu = _partitions(nodes, edges)
             assert bfs == dsu
+
+
+# -- observability across process boundaries ----------------------------------
+
+
+class TestProcessBackendObservability:
+    """Worker registries must fold into the parent at join: the
+    per-block analysis metrics recorded inside process workers match a
+    serial run exactly (counters sum, histograms merge), closing the
+    process-backend blind spot."""
+
+    @pytest.fixture(scope="class")
+    def inputs(self, small_bitcoin_ledger):
+        return utxo_block_inputs(small_bitcoin_ledger)
+
+    def _snapshot(self, inputs, backend, jobs):
+        from repro import obs
+
+        with obs.instrumented() as state:
+            analyze_chain(
+                inputs, data_model="utxo", name="btc", backend=backend,
+                jobs=jobs, chunk_size=3,
+            )
+            return state.registry.snapshot(), state.recorder.events()
+
+    @pytest.mark.parametrize("backend,jobs", [
+        ("thread", 3), ("process", 3),
+    ])
+    def test_per_block_metrics_match_serial(self, inputs, backend, jobs):
+        serial, _ = self._snapshot(inputs, "serial", 1)
+        parallel, _ = self._snapshot(inputs, backend, jobs)
+        # Every analysis-domain counter the serial run records must
+        # come back identical through the worker merge; the parallel
+        # run only ADDS its own pipeline.parallel.* family.
+        for key, value in serial["counters"].items():
+            assert parallel["counters"].get(key) == value, key
+        extra = set(parallel["counters"]) - set(serial["counters"])
+        assert all(k.startswith("pipeline.parallel.") for k in extra)
+        for key, summary in serial["histograms"].items():
+            merged = parallel["histograms"].get(key)
+            assert merged is not None, key
+            assert merged["count"] == summary["count"]
+            assert merged["sum"] == pytest.approx(summary["sum"])
+
+    def test_process_run_records_chunk_timeline(self, inputs):
+        _, events = self._snapshot(inputs, "process", 3)
+        chunk_events = [
+            e for e in events if e.executor == "pipeline.process"
+        ]
+        assert chunk_events, "no chunk timeline recorded"
+        # One schedule/start/commit triple per chunk, lanes keyed by
+        # worker first-appearance.
+        kinds = {e.kind for e in chunk_events}
+        assert kinds == {"schedule", "start", "commit"}
+        commits = [e for e in chunk_events if e.kind == "commit"]
+        assert len(commits) == len(chunk_bounds(len(inputs), 3))
+        assert all(e.lane >= 0 for e in commits)
+
+    def test_worker_dump_merge_is_exact_for_counts(self, inputs):
+        # analyze_chunk keeps its public 2-tuple contract while the
+        # pool path ships ChunkResult dumps; both must agree on totals.
+        from repro.core.parallel import analyze_chunk
+
+        records, elapsed = analyze_chunk("utxo", inputs[:3])
+        assert len(records) == 3
+        assert elapsed >= 0.0

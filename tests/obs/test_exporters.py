@@ -8,14 +8,18 @@ import json
 import pytest
 
 from repro.obs.exporters import (
+    COST_UNIT_US,
     TRACE_SCHEMA_VERSION,
+    chrome_trace_events,
     read_trace_jsonl,
     registry_snapshot_json,
     render_prometheus,
     render_summary,
+    write_chrome_trace,
     write_trace_jsonl,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import FlightRecorder
 from repro.obs.tracer import Tracer
 
 
@@ -118,3 +122,137 @@ class TestSnapshotJson:
         text = registry_snapshot_json(registry)
         assert json.loads(text) == registry.snapshot()
         assert text == registry_snapshot_json(registry)  # deterministic
+
+
+class TestPrometheusSanitization:
+    def test_metric_names_coerced_to_charset(self):
+        registry = MetricsRegistry()
+        registry.counter("exec.occ.aborts").inc(1)
+        registry.counter("weird metric-name!").inc(2)
+        registry.counter("1starts_with_digit").inc(3)
+        registry.counter("legal:colon_name").inc(4)
+        text = render_prometheus(registry)
+        assert "exec_occ_aborts 1" in text
+        assert "weird_metric_name_ 2" in text
+        assert "_1starts_with_digit 3" in text
+        assert "legal:colon_name 4" in text  # colons are legal in names
+
+    def test_label_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "m", **{"label.with-dots": "v", "ok_label": "w"}
+        ).inc(1)
+        text = render_prometheus(registry)
+        assert 'label_with_dots="v"' in text
+        assert 'ok_label="w"' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "m", tricky='a"b\\c\nd'
+        ).inc(1)
+        text = render_prometheus(registry)
+        # Escaped: backslash -> \\, quote -> \", newline -> \n — and
+        # the rendered output itself stays one line per sample.
+        assert 'tricky="a\\"b\\\\c\\nd"' in text
+        payload_lines = [
+            line for line in text.splitlines() if "tricky" in line
+        ]
+        assert len(payload_lines) == 1
+
+    def test_empty_histogram_renders_no_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("exec.wall_time")  # created, never observed
+        text = render_prometheus(registry)
+        assert "exec_wall_time_count 0" in text
+        assert "exec_wall_time_sum 0" in text
+        assert "quantile" not in text
+
+    def test_empty_histogram_summary_table_renders_dashes(self):
+        registry = MetricsRegistry()
+        registry.histogram("exec.wall_time")
+        text = render_summary(Tracer(), registry)
+        assert "exec.wall_time" in text  # present, not crashed
+
+
+class TestChromeTrace:
+    def _recorder(self):
+        recorder = FlightRecorder()
+        with recorder.block(5):
+            recorder.record("schedule", "tx0", executor="spec", clock=0.0)
+            recorder.record("start", "tx0", executor="spec", lane=0,
+                            clock=0.0, cost=2.0)
+            recorder.record("commit", "tx0", executor="spec", lane=0,
+                            clock=2.0, cost=2.0)
+            recorder.record("start", "tx1", executor="spec", lane=1,
+                            clock=0.0, cost=1.0)
+            recorder.record("abort", "tx1", executor="spec", lane=1,
+                            clock=1.0, cost=1.0)
+            recorder.record("retry", "tx1", executor="spec", clock=1.0,
+                            round_index=1)
+        return recorder
+
+    def test_slices_instants_and_metadata(self):
+        events = chrome_trace_events(self._recorder().events())
+        by_phase = {}
+        for event in events:
+            by_phase.setdefault(event["ph"], []).append(event)
+        # Metadata: one process name + two lane threads + the queue.
+        names = {
+            (m["name"], m["args"]["name"]) for m in by_phase["M"]
+        }
+        assert ("process_name", "spec") in names
+        assert ("thread_name", "queue") in names
+        assert ("thread_name", "lane 0") in names
+        assert ("thread_name", "lane 1") in names
+        # Slices: tx0 committed on tid 1, tx1 aborted on tid 2.
+        slices = {s["name"]: s for s in by_phase["X"]}
+        assert slices["tx0"]["tid"] == 1
+        assert slices["tx0"]["dur"] == 2.0 * COST_UNIT_US
+        assert slices["tx0"]["args"]["outcome"] == "commit"
+        assert slices["tx1"]["tid"] == 2
+        assert slices["tx1"]["args"]["outcome"] == "abort"
+        assert slices["tx1"]["args"]["block"] == 5
+        # Instants land on the queue thread (tid 0).
+        assert {i["tid"] for i in by_phase["i"]} == {0}
+        assert {i["cat"] for i in by_phase["i"]} == {"schedule", "retry"}
+
+    def test_clock_unit_scaling(self):
+        events = chrome_trace_events(
+            self._recorder().events(), clock_unit_us=10.0
+        )
+        (tx0,) = [e for e in events if e.get("name") == "tx0"]
+        assert tx0["dur"] == 20.0
+
+    def test_blocks_laid_out_side_by_side(self):
+        recorder = FlightRecorder()
+        for height in (1, 2):
+            with recorder.block(height):
+                recorder.record("start", f"b{height}", executor="e",
+                                lane=0, clock=0.0, cost=1.0)
+                recorder.record("commit", f"b{height}", executor="e",
+                                lane=0, clock=1.0, cost=1.0)
+        slices = [
+            e for e in chrome_trace_events(recorder.events())
+            if e["ph"] == "X"
+        ]
+        ts = {s["name"]: s["ts"] for s in slices}
+        # Block 2 starts after block 1's extent, not on top of it.
+        assert ts["b2"] == ts["b1"] + 1.0 * COST_UNIT_US
+
+    def test_write_chrome_trace_file_shape(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(path, self._recorder().events())
+        document = json.loads(path.read_text())
+        assert len(document["traceEvents"]) == count
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["schema_version"] == \
+            TRACE_SCHEMA_VERSION
+        assert document["otherData"]["clock_unit_us"] == COST_UNIT_US
+
+    def test_unpaired_finish_skipped_not_raised(self):
+        recorder = FlightRecorder()
+        recorder.record("commit", "ghost", executor="e", lane=0, clock=1.0)
+        assert [
+            e["ph"] for e in chrome_trace_events(recorder.events())
+        ] == ["M"]  # only the process metadata, no slice

@@ -169,3 +169,49 @@ class TestNoopRegistry:
     def test_disabled_flag(self):
         assert NOOP_REGISTRY.enabled is False
         assert MetricsRegistry().enabled is True
+
+
+class TestDumpAndMerge:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("exec.runs", executor="occ").inc(3)
+        registry.gauge("mempool.size").set(10)
+        for value in (1.0, 4.0, 9.0):
+            registry.histogram("exec.wall_time").observe(value)
+        return registry
+
+    def test_dump_is_lossless_for_histograms(self):
+        registry = self._populated()
+        (hist,) = [
+            r for r in registry.dump() if r["kind"] == "histogram"
+        ]
+        assert hist["values"] == [1.0, 4.0, 9.0]
+
+    def test_merge_sums_counters_and_concatenates_histograms(self):
+        parent = self._populated()
+        worker = self._populated()
+        worker.gauge("mempool.size").set(99)
+        parent.merge_dump(worker.dump())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["exec.runs{executor=occ}"] == 6.0
+        assert snapshot["gauges"]["mempool.size"] == 99.0  # last wins
+        merged = snapshot["histograms"]["exec.wall_time"]
+        assert merged["count"] == 6
+        assert merged["sum"] == 28.0
+        # Percentile fidelity survives the merge (raw values, not
+        # pre-aggregated summaries).
+        assert parent.histogram("exec.wall_time").percentile(0.5) == 4.0
+
+    def test_merge_into_empty_registry_reproduces_source(self):
+        source = self._populated()
+        target = MetricsRegistry()
+        target.merge_dump(source.dump())
+        assert target.snapshot() == source.snapshot()
+
+    def test_dump_round_trips_through_pickle(self):
+        import pickle
+
+        dump = pickle.loads(pickle.dumps(self._populated().dump()))
+        target = MetricsRegistry()
+        target.merge_dump(dump)
+        assert target.snapshot() == self._populated().snapshot()
