@@ -166,6 +166,126 @@ def render_sparkline(
     return f"{prefix}[{line}] {lo:.3g}..{hi:.3g}"
 
 
+# Slice fill characters cycle per task so adjacent tasks on a lane are
+# visually separable without colour.
+_GANTT_FILLS = "#=%@*+"
+
+
+def render_gantt(
+    events: Sequence[object],
+    *,
+    width: int = 64,
+    title: str = "",
+) -> str:
+    """Render flight-recorder events as a per-lane ASCII Gantt chart.
+
+    One row per (executor, lane): the lane's task executions painted
+    onto a fixed-width time axis spanning the overall makespan, with
+    the lane's busy fraction at the end of the row.  Queue-side events
+    (negative lanes) are skipped — this chart shows where lanes spend
+    their time, which is the per-lane view the critical-path profiler
+    summarises numerically.
+
+    *events* duck-types :class:`repro.obs.timeline.TimelineEvent`
+    (``kind``/``executor``/``lane``/``clock``/``cost`` attributes); this
+    module stays import-free of :mod:`repro.obs` because the obs
+    exporters import these renderers.
+    """
+    if width < 8:
+        raise ValueError("width must be at least 8")
+    starts = [
+        event for event in events
+        if event.kind == "start" and event.lane >= 0  # type: ignore[attr-defined]
+    ]
+    # Executors replay every block from logical clock 0; lay blocks out
+    # side by side (same global-offset rule as the Chrome exporter) so
+    # a multi-block recording reads as one continuous timeline.
+    extents: dict[object, float] = {}
+    block_order: list[object] = []
+    for event in starts:
+        block = event.block  # type: ignore[attr-defined]
+        if block not in extents:
+            block_order.append(block)
+            extents[block] = 0.0
+        end = float(event.clock) + float(event.cost)  # type: ignore[attr-defined]
+        extents[block] = max(extents[block], end)
+    offsets: dict[object, float] = {}
+    cursor = 0.0
+    for block in block_order:
+        offsets[block] = cursor
+        cursor += extents[block]
+    slices: dict[tuple[str, int], list[tuple[float, float]]] = {}
+    makespan = 0.0
+    for event in starts:
+        offset = offsets[event.block]  # type: ignore[attr-defined]
+        start = offset + float(event.clock)  # type: ignore[attr-defined]
+        end = start + float(event.cost)  # type: ignore[attr-defined]
+        key = (str(event.executor), int(event.lane))  # type: ignore[attr-defined]
+        slices.setdefault(key, []).append((start, end))
+        makespan = max(makespan, end)
+    if not slices or makespan <= 0:
+        return f"{title}\n(no lane executions recorded)" if title \
+            else "(no lane executions recorded)"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(
+        len(f"{executor}/lane {lane}") for executor, lane in slices
+    )
+    scale = width / makespan
+    for executor, lane in sorted(slices):
+        row = [" "] * width
+        busy = 0.0
+        for index, (start, end) in enumerate(
+            sorted(slices[(executor, lane)])
+        ):
+            busy += end - start
+            fill = _GANTT_FILLS[index % len(_GANTT_FILLS)]
+            first = min(width - 1, int(start * scale))
+            last = min(width - 1, max(first, int(end * scale) - 1))
+            for position in range(first, last + 1):
+                row[position] = fill
+        label = f"{executor}/lane {lane}".ljust(label_width)
+        utilization = 100.0 * busy / makespan
+        lines.append(f"{label} |{''.join(row)}| {utilization:5.1f}%")
+    end_label = f"{makespan:g}"
+    lines.append(
+        " " * (label_width + 1) + "0"
+        + " " * max(1, width - len(end_label)) + end_label
+    )
+    return "\n".join(lines)
+
+
+_SHARE_BAR_WIDTH = 32
+
+
+def render_stage_shares(
+    shares: Sequence[tuple[str, float]],
+    *,
+    title: str = "",
+) -> str:
+    """Render (stage, fraction) pairs as labelled percentage bars.
+
+    Used by the lifecycle report and ``analysis.report`` consumers to
+    show where end-to-end transaction latency goes; fractions are
+    expected to sum to ~1 but are rendered as given.
+    """
+    if not shares:
+        return "(no stage shares)"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(stage) for stage, _ in shares)
+    for stage, fraction in shares:
+        filled = int(round(fraction * _SHARE_BAR_WIDTH))
+        filled = min(_SHARE_BAR_WIDTH, max(0, filled))
+        bar = "#" * filled + " " * (_SHARE_BAR_WIDTH - filled)
+        lines.append(
+            f"{stage.ljust(label_width)} |{bar}| {100.0 * fraction:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
 def format_rate(value: float) -> str:
     """Format a conflict rate as a percentage string."""
     return f"{100.0 * value:.1f}%"

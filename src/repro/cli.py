@@ -568,6 +568,102 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lifecycle(args: argparse.Namespace) -> int:
+    """Run the full pipeline; print the per-stage latency breakdown.
+
+    Every transaction flows mempool → gossip → (sharding) → packing →
+    consensus → execution under lifecycle tracing; the report shows
+    where end-to-end latency goes per stage (count/p50/p95/p99 and the
+    share of total traced time), the slowest traces stage by stage, and
+    the executor's per-lane Gantt chart.  ``--out`` additionally writes
+    the stitched traces and execution timeline as one Chrome trace file.
+    """
+    from repro import obs
+    from repro.analysis.report import render_gantt, render_stage_shares
+    from repro.obs.exporters import write_chrome_trace
+    from repro.obs.lifecycle import (
+        slowest_traces,
+        stage_shares,
+    )
+    from repro.obs.lifecycle_run import run_lifecycle
+
+    profile = _resolve_profile(args.chain)
+    if args.top < 1:
+        raise CLIError("--top must be at least 1")
+    try:
+        with obs.instrumented() as state:
+            result = run_lifecycle(
+                profile,
+                blocks=args.blocks,
+                seed=args.seed,
+                cores=args.cores,
+                executor=args.executor,
+                scale=args.scale,
+                nodes=args.nodes,
+                mempool_weight=args.mempool_weight,
+            )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+
+    print(
+        f"{args.chain} / {args.executor}: {result.admitted} admitted, "
+        f"{result.committed} committed, {result.dropped} dropped "
+        f"over {result.blocks} block(s)"
+    )
+    breakdown = result.breakdown()
+    if not breakdown:
+        print("(no traces recorded)")
+        return 0
+    shares = stage_shares(breakdown)
+    print()
+    print(render_table(
+        ["stage", "count", "p50 s", "p95 s", "p99 s", "max s", "share"],
+        [
+            (
+                stage,
+                str(stats.count),
+                f"{stats.p50:.3f}",
+                f"{stats.p95:.3f}",
+                f"{stats.p99:.3f}",
+                f"{stats.max:.3f}",
+                f"{100.0 * shares[stage]:.1f}%",
+            )
+            for stage, stats in breakdown.items()
+        ],
+        title="per-stage latency (simulated seconds since previous stage)",
+    ))
+    print()
+    print(render_stage_shares(
+        [(stage, shares[stage]) for stage in breakdown],
+        title="share of total traced latency",
+    ))
+    print()
+    print(f"slowest {args.top} trace(s):")
+    for trace in slowest_traces(result.traces, limit=args.top):
+        print(
+            f"  {trace.trace_id}  total {trace.total_latency:.3f}s "
+            f"({trace.outcome})"
+        )
+        for stage, latency in trace.stage_latencies():
+            print(f"    {stage:<12} +{latency:.3f}s")
+    events = state.recorder.events()
+    gantt = render_gantt(
+        events, title=f"executor lanes ({args.executor})"
+    )
+    print()
+    print(gantt)
+    if args.out:
+        try:
+            count = write_chrome_trace(
+                args.out, events, lifecycle_traces=result.traces
+            )
+        except OSError as exc:
+            raise CLIError(f"cannot write trace file: {exc}") from None
+        print()
+        print(f"wrote {count} trace events to {args.out}")
+    return 0
+
+
 def cmd_regress(args: argparse.Namespace) -> int:
     """Compare a fresh deterministic snapshot against the baseline.
 
@@ -785,6 +881,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the Chrome trace JSON here (default: stdout)",
     )
     sub.set_defaults(func=cmd_timeline)
+
+    sub = subparsers.add_parser(
+        "lifecycle",
+        help="trace every transaction mempool→gossip→consensus→commit; "
+             "print the per-stage latency breakdown",
+    )
+    known = ", ".join(sorted(PROFILES_BY_NAME))
+    sub.add_argument(
+        "--chain", required=True, metavar="NAME",
+        help=f"which blockchain profile to run (one of: {known})",
+    )
+    from repro.obs.regress import EXECUTOR_CHOICES as _EXEC_CHOICES
+
+    sub.add_argument(
+        "--executor", default="dag", choices=_EXEC_CHOICES,
+        help="execution engine for the commit stage (default: dag)",
+    )
+    sub.add_argument("--blocks", type=int, default=5,
+                     help="number of blocks to run")
+    sub.add_argument("--seed", type=int, default=0,
+                     help="determinism seed")
+    sub.add_argument("--scale", type=float, default=1.0,
+                     help="transaction-volume multiplier")
+    sub.add_argument("--cores", type=int, default=4,
+                     help="simulated cores for the executor")
+    sub.add_argument("--nodes", type=int, default=24,
+                     help="gossip topology size")
+    sub.add_argument(
+        "--mempool-weight", type=int, default=None, metavar="W",
+        help="mempool capacity; small values force evictions "
+             "(default: unbounded)",
+    )
+    sub.add_argument("--top", type=int, default=3, metavar="N",
+                     help="slowest traces to drill into (default: 3)")
+    sub.add_argument(
+        "--out", default="",
+        help="write a Chrome trace (execution + lifecycle flows) here",
+    )
+    sub.set_defaults(func=cmd_lifecycle)
 
     sub = subparsers.add_parser(
         "regress",

@@ -18,6 +18,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
+
 
 @dataclass(frozen=True)
 class Miner:
@@ -120,6 +122,10 @@ class PoWSimulator:
         self._hashrate *= 1.0 + self.hashrate_growth
         if self._height % self.retarget_window == 0:
             self._retarget(timestamp)
+        if obs.enabled():
+            obs.counter("consensus.pow.blocks").inc()
+            obs.histogram("consensus.pow.interval").observe(interval)
+            obs.gauge("consensus.pow.difficulty").set(self._difficulty)
         return slot
 
     def _retarget(self, now: float) -> None:

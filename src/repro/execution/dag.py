@@ -238,7 +238,8 @@ def run_dag(dag: DependencyDAG, cores: int):
     contract — an :class:`~repro.execution.engine.ExecutionReport`, the
     ``exec.*`` metric family, and flight-recorder events (``schedule``
     when a task's last predecessor finishes, then ``start``/``commit``
-    on its lane).  Its measured speed-up may legitimately *exceed* the
+    on its lane, plus one ``edge`` event per dependency so the Chrome
+    exporter can draw handoff chains as flow arrows).  Its measured speed-up may legitimately *exceed* the
     Eq. 2 bound ``min(n, 1/l)``: the bound treats each dependency group
     as sequential, while the DAG exploits the partial order inside it.
     """
@@ -267,6 +268,15 @@ def run_dag(dag: DependencyDAG, cores: int):
                 ("dag", block, 0, "commit", tx_hash, plan.core_of[tx_hash],
                  plan.finish_times[tx_hash], dag.costs[tx_hash])
                 for tx_hash in dag.order
+            )
+            # One edge event per dependency, stamped at the handoff
+            # moment (the predecessor's finish); task carries both
+            # endpoints as "pred->succ" for the flow exporter.
+            rows.extend(
+                ("dag", block, 0, "edge", f"{pred}->{succ}", QUEUE_LANE,
+                 plan.finish_times[pred], 0.0)
+                for pred in dag.order
+                for succ in sorted(dag.successors[pred])
             )
             return rows
 

@@ -139,9 +139,15 @@ class Mempool(Generic[PayloadT]):
                     )
                 self._remove(incumbent_hash)
                 obs.counter("mempool.replaced").inc()
+                obs.lifecycle().close(
+                    incumbent_hash, "dropped", reason="replaced"
+                )
         self._entries[entry.tx_hash] = entry
         if entry.replacement_key:
             self._by_replacement[entry.replacement_key] = entry.tx_hash
+        life = obs.lifecycle()
+        if life.enabled and life.trace(entry.tx_hash) is None:
+            life.begin(entry.tx_hash, fee=entry.fee, weight=entry.weight)
         self._evict_to_capacity()
         obs.counter("mempool.admitted").inc()
         if obs.enabled():
@@ -156,20 +162,35 @@ class Mempool(Generic[PayloadT]):
         return entry
 
     def _evict_to_capacity(self) -> list[PoolEntry[PayloadT]]:
-        """Drop cheapest entries until under the weight cap."""
+        """Drop cheapest entries until under the weight cap.
+
+        Evicted transactions close their lifecycle trace as ``dropped``
+        (reason ``evicted``) — without this, capacity pressure would
+        leak open traces and the one-trace-per-transaction invariant
+        the property tests check would silently erode.
+        """
         evicted: list[PoolEntry[PayloadT]] = []
         if self.total_weight <= self.max_weight:
             return evicted
-        ordered = sorted(
-            self._entries.values(), key=lambda entry: entry.fee_rate
-        )
-        for entry in ordered:
-            if self.total_weight <= self.max_weight:
-                break
-            self._remove(entry.tx_hash)
-            evicted.append(entry)
-        if evicted:
-            obs.counter("mempool.evicted").inc(len(evicted))
+        with obs.trace_span("mempool.evict") as span:
+            ordered = sorted(
+                self._entries.values(), key=lambda entry: entry.fee_rate
+            )
+            for entry in ordered:
+                if self.total_weight <= self.max_weight:
+                    break
+                self._remove(entry.tx_hash)
+                evicted.append(entry)
+            if evicted:
+                obs.counter("mempool.evicted").inc(len(evicted))
+                life = obs.lifecycle()
+                for entry in evicted:
+                    life.close(entry.tx_hash, "dropped", reason="evicted")
+                if obs.enabled():
+                    span.set(
+                        evicted=len(evicted),
+                        weight=sum(e.weight for e in evicted),
+                    )
         return evicted
 
     # -- packing --------------------------------------------------------------
@@ -214,6 +235,12 @@ class Mempool(Generic[PayloadT]):
         obs.counter("mempool.packed_txs").inc(len(selected))
         obs.gauge("mempool.size").set(len(self._entries))
         obs.gauge("mempool.weight").set(self.total_weight)
+        life = obs.lifecycle()
+        if life.enabled:
+            for entry in selected:
+                life.record(
+                    entry.tx_hash, "included", fee_rate=entry.fee_rate
+                )
 
     def pack_block_with_dependencies(
         self,

@@ -32,7 +32,10 @@ Naming scheme (full catalogue in ``docs/observability.md``):
 * ``pipeline.*`` — per-chain / per-block analysis spans,
 * ``exec.<engine>.*`` — executor runs, aborts, retries, utilization,
 * ``mempool.*`` — admission, eviction, packing,
-* ``gossip.*`` — propagation message counts and hop depths.
+* ``gossip.*`` — propagation message counts and hop depths,
+* ``lifecycle.*`` — per-transaction stage transitions and latencies
+  (see :mod:`repro.obs.lifecycle`),
+* ``consensus.*`` / ``sharding.*`` — round latencies, dispatch counts.
 """
 
 from __future__ import annotations
@@ -41,6 +44,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.obs.lifecycle import (
+    NOOP_LIFECYCLE,
+    LifecycleTracer,
+    NoopLifecycleTracer,
+    StitchedTrace,
+    TraceContext,
+)
 from repro.obs.metrics import (
     NOOP_REGISTRY,
     Counter,
@@ -62,13 +72,17 @@ __all__ = [
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LifecycleTracer",
     "MetricsRegistry",
     "NoopFlightRecorder",
+    "NoopLifecycleTracer",
     "NoopMetricsRegistry",
     "NoopTracer",
     "ObservabilityState",
     "Span",
+    "StitchedTrace",
     "TimelineEvent",
+    "TraceContext",
     "Tracer",
     "counter",
     "enabled",
@@ -79,6 +93,7 @@ __all__ = [
     "histogram",
     "install",
     "instrumented",
+    "lifecycle",
     "trace_span",
     "uninstall",
 ]
@@ -86,20 +101,23 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ObservabilityState:
-    """One (registry, tracer, recorder) triple — ``instrumented`` yields it."""
+    """One (registry, tracer, recorder, lifecycle) set — ``instrumented``
+    yields it."""
 
     registry: MetricsRegistry
     tracer: Tracer
     recorder: FlightRecorder = NOOP_RECORDER
+    lifecycle: LifecycleTracer = NOOP_LIFECYCLE
 
     @property
     def enabled(self) -> bool:
         return (self.registry.enabled or self.tracer.enabled
-                or self.recorder.enabled)
+                or self.recorder.enabled or self.lifecycle.enabled)
 
 
 _NOOP_STATE = ObservabilityState(
-    registry=NOOP_REGISTRY, tracer=NOOP_TRACER, recorder=NOOP_RECORDER
+    registry=NOOP_REGISTRY, tracer=NOOP_TRACER, recorder=NOOP_RECORDER,
+    lifecycle=NOOP_LIFECYCLE,
 )
 _state: ObservabilityState = _NOOP_STATE
 
@@ -125,22 +143,32 @@ def get_recorder() -> FlightRecorder:
     return _state.recorder
 
 
+def lifecycle() -> LifecycleTracer:
+    """The current lifecycle tracer (:data:`NOOP_LIFECYCLE` when off)."""
+    return _state.lifecycle
+
+
 def install(
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
     recorder: FlightRecorder | None = None,
+    lifecycle: LifecycleTracer | None = None,
 ) -> ObservabilityState:
     """Install a recording state process-wide; returns it.
 
     Any component left ``None`` gets a fresh recording instance; pass
     the explicit no-op singleton (e.g. ``NOOP_RECORDER``) to keep one
-    component disabled while the others record.
+    component disabled while the others record.  A fresh lifecycle
+    tracer observes its stage metrics into the installed registry.
     """
     global _state
+    resolved_registry = registry if registry is not None else MetricsRegistry()
     _state = ObservabilityState(
-        registry=registry if registry is not None else MetricsRegistry(),
+        registry=resolved_registry,
         tracer=tracer if tracer is not None else Tracer(),
         recorder=recorder if recorder is not None else FlightRecorder(),
+        lifecycle=lifecycle if lifecycle is not None
+        else LifecycleTracer(registry=resolved_registry),
     )
     return _state
 
@@ -156,11 +184,13 @@ def instrumented(
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
     recorder: FlightRecorder | None = None,
+    lifecycle: LifecycleTracer | None = None,
 ) -> Iterator[ObservabilityState]:
     """Scoped recording: install on entry, restore the prior state after."""
     global _state
     previous = _state
-    state = install(registry=registry, tracer=tracer, recorder=recorder)
+    state = install(registry=registry, tracer=tracer, recorder=recorder,
+                    lifecycle=lifecycle)
     try:
         yield state
     finally:

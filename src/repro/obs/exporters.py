@@ -24,8 +24,9 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.report import render_table
+from repro.obs.lifecycle import StitchedTrace
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.timeline import QUEUE_LANE, TimelineEvent
+from repro.obs.timeline import EDGE_SEPARATOR, QUEUE_LANE, TimelineEvent
 from repro.obs.tracer import Span, Tracer
 
 TRACE_SCHEMA_VERSION = 1
@@ -311,7 +312,10 @@ def chrome_trace_events(
     * each start→commit/abort pair becomes a complete (``"X"``) slice
       whose ``args`` carry the block, round and outcome;
     * ``schedule``/``retry`` events become thread-scoped instants
-      (``"i"``) on the queue thread.
+      (``"i"``) on the queue thread;
+    * ``edge`` events (``task = "pred->succ"``) become flow event pairs
+      (``"s"`` at the predecessor's commit, ``"f"`` at the successor's
+      start), drawing the DAG executor's handoff chains as arrows.
 
     Executors replay every block from logical clock 0, so blocks are
     laid out side by side: each block gets a global offset equal to the
@@ -337,6 +341,13 @@ def chrome_trace_events(
     pid_of: dict[str, int] = {}
     named_threads: set[tuple[int, int]] = set()
     open_starts: dict[tuple[str, str, int, int], TimelineEvent] = {}
+    # For edge flows: each task's executed slice extent + placement,
+    # keyed by (executor, block, task).  Filled as slices close; the
+    # edge pass below runs after every slice exists.
+    slice_bounds: dict[
+        tuple[str, int | None, str], tuple[float, float, int, int]
+    ] = {}
+    edge_events: list[TimelineEvent] = []
 
     def pid_for(executor: str) -> int:
         pid = pid_of.get(executor)
@@ -388,6 +399,11 @@ def chrome_trace_events(
                     "outcome": event.kind,
                 },
             })
+            slice_bounds[(event.executor, event.block, event.task)] = (
+                start_ts, ts, pid, tid
+            )
+        elif event.kind == "edge":
+            edge_events.append(event)
         else:  # schedule / retry — queue-side instants
             tid = _lane_tid(QUEUE_LANE)
             name_thread(pid, tid)
@@ -401,6 +417,118 @@ def chrome_trace_events(
                 "ts": ts,
                 "args": {"block": event.block, "round": event.round},
             })
+
+    # Edge pass: every slice is closed by now, so each dependency can
+    # bind its arrow to real slice endpoints.  Edges whose endpoints
+    # never executed (shouldn't happen, but recorders are append-only
+    # logs, not validated graphs) are skipped rather than drawn dangling.
+    for flow_id, event in enumerate(edge_events, start=1):
+        pred, sep, succ = event.task.partition(EDGE_SEPARATOR)
+        if not sep:
+            continue
+        pred_bounds = slice_bounds.get((event.executor, event.block, pred))
+        succ_bounds = slice_bounds.get((event.executor, event.block, succ))
+        if pred_bounds is None or succ_bounds is None:
+            continue
+        _, pred_end, pred_pid, pred_tid = pred_bounds
+        succ_start, _, succ_pid, succ_tid = succ_bounds
+        common = {
+            "cat": "handoff",
+            "name": "dependency",
+            "id": flow_id,
+            "args": {"from": pred, "to": succ, "block": event.block},
+        }
+        out.append({
+            "ph": "s", "pid": pred_pid, "tid": pred_tid,
+            "ts": pred_end, **common,
+        })
+        out.append({
+            "ph": "f", "bp": "e", "pid": succ_pid, "tid": succ_tid,
+            "ts": succ_start, **common,
+        })
+    return out
+
+
+# The lifecycle pseudo-process sits far above executor pids so the two
+# id spaces never collide in a joined trace file.
+LIFECYCLE_PID = 1000
+
+# Lifecycle timestamps are simulated seconds; render them at 1 ms of
+# trace time per simulated second so multi-minute block intervals stay
+# navigable next to the (cost-unit-scaled) execution slices.
+SECOND_US = 1000.0
+
+
+def lifecycle_trace_events(
+    traces: Sequence[StitchedTrace],
+    *,
+    second_us: float = SECOND_US,
+    pid: int = LIFECYCLE_PID,
+) -> list[dict[str, object]]:
+    """Convert stitched lifecycle traces into Chrome trace-event dicts.
+
+    One ``lifecycle`` pseudo-process; each stage of the vocabulary is a
+    thread, so the view reads as a swimlane per pipeline stage.  Each
+    trace renders as one ``"X"`` slice per stage event (extending to the
+    next event) plus a flow chain (``"s"``/``"t"``/``"f"`` sharing the
+    trace's id) arrowing the transaction's hop from stage to stage —
+    this is what joins the executor timeline in ``repro.cli timeline``
+    output so a transaction can be followed from admission to commit.
+    """
+    from repro.obs.lifecycle import STAGES
+
+    out: list[dict[str, object]] = []
+    if not traces:
+        return out
+    out.append({
+        "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+        "args": {"name": "lifecycle"},
+    })
+    tid_of = {stage: index for index, stage in enumerate(STAGES)}
+    used_tids: set[int] = set()
+    for flow_id, trace in enumerate(traces, start=1):
+        events = trace.events
+        for index, event in enumerate(events):
+            tid = tid_of[event.stage]
+            if tid not in used_tids:
+                used_tids.add(tid)
+                out.append({
+                    "ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": tid, "args": {"name": event.stage},
+                })
+            ts = event.at * second_us
+            next_at = (
+                events[index + 1].at if index + 1 < len(events)
+                else event.at
+            )
+            out.append({
+                "ph": "X",
+                "name": trace.trace_id,
+                "cat": "lifecycle",
+                "pid": pid,
+                "tid": tid,
+                "ts": ts,
+                "dur": max(0.0, (next_at - event.at) * second_us),
+                "args": {"stage": event.stage, **event.attrs},
+            })
+            if len(events) < 2:
+                continue
+            phase = ("s" if index == 0
+                     else "f" if index == len(events) - 1 else "t")
+            flow: dict[str, object] = {
+                "ph": phase,
+                "cat": "lifecycle",
+                "name": "tx",
+                "id": flow_id,
+                "pid": pid,
+                "tid": tid,
+                "ts": ts,
+                "args": {"trace_id": trace.trace_id,
+                         "stage": event.stage},
+            }
+            if phase == "f":
+                flow["bp"] = "e"
+            out.append(flow)
     return out
 
 
@@ -409,18 +537,26 @@ def write_chrome_trace(
     events: Sequence[TimelineEvent],
     *,
     clock_unit_us: float = COST_UNIT_US,
+    lifecycle_traces: Sequence[StitchedTrace] = (),
+    second_us: float = SECOND_US,
 ) -> int:
     """Write *events* as a Chrome trace JSON file; returns event count.
 
     The file is the object form (``{"traceEvents": [...]}``) with
     ``displayTimeUnit: "ms"``, which both catapult and Perfetto accept.
+    *lifecycle_traces*, when given, join the file as a separate
+    ``lifecycle`` process (see :func:`lifecycle_trace_events`).
     """
     trace_events = chrome_trace_events(events, clock_unit_us=clock_unit_us)
+    trace_events.extend(
+        lifecycle_trace_events(lifecycle_traces, second_us=second_us)
+    )
     payload = {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
         "otherData": {"schema_version": TRACE_SCHEMA_VERSION,
-                      "clock_unit_us": clock_unit_us},
+                      "clock_unit_us": clock_unit_us,
+                      "second_us": second_us},
     }
     Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
     return len(trace_events)
@@ -428,8 +564,11 @@ def write_chrome_trace(
 
 __all__ = [
     "COST_UNIT_US",
+    "LIFECYCLE_PID",
+    "SECOND_US",
     "TRACE_SCHEMA_VERSION",
     "chrome_trace_events",
+    "lifecycle_trace_events",
     "read_trace_jsonl",
     "registry_snapshot_json",
     "render_prometheus",

@@ -1,0 +1,272 @@
+"""End-to-end lifecycle pipeline: mempool → gossip → consensus → execute.
+
+:func:`run_lifecycle` drives one seeded chain workload through the
+*whole* transaction pipeline so every stage of the lifecycle vocabulary
+(:mod:`repro.obs.lifecycle`) actually fires:
+
+1. each block's transactions are admitted to a fee-market
+   :class:`~repro.mempool.pool.Mempool` with staggered arrival times
+   (minting the ``admitted`` root spans, and ``dropped`` closures when
+   a capacity-bounded pool evicts);
+2. the pending set floods a gossip topology
+   (:class:`~repro.network.gossip.GossipNetwork`), producing per-hop
+   ``relayed`` events and a ``propagated`` mark at full coverage;
+3. sharded profiles dispatch each transaction to its committee
+   (``assigned``);
+4. the miner packs a block (``included``) and a consensus round runs —
+   a PBFT committee for sharded chains, a PoW interval draw otherwise
+   (``consensus``);
+5. the block replays through one of the simulated executors under the
+   flight recorder, and :func:`~repro.obs.lifecycle.stitch_execution_events`
+   folds the recorded ``schedule``/``abort``/``retry``/``commit``
+   events into the traces (``scheduled``/``aborted``/``retried``/
+   ``committed``), closing each one.
+
+All timing is simulated seconds on the lifecycle tracer's clock: block
+intervals come from the chain profile, gossip latencies from the
+topology, consensus from the round model, and execution from the
+executor's logical clock scaled by ``cost_unit_seconds``.  The run is
+fully deterministic under a fixed seed — the regress gate snapshots it
+— and it degrades to a cheap plain run when observability is disabled
+(the bench measures exactly that delta).
+
+Like :mod:`repro.obs.critical_path` and :mod:`repro.obs.regress`, this
+module imports the execution/workload layers and must never be imported
+from ``repro.obs.__init__``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro import obs
+from repro.mempool.pool import Mempool, PoolEntry
+from repro.network.gossip import GossipNetwork
+from repro.obs.lifecycle import (
+    StageStats,
+    StitchedTrace,
+    stage_breakdown,
+    stitch_execution_events,
+)
+from repro.obs.regress import (
+    chain_task_blocks,
+    make_executor,
+)
+
+DEFAULT_NODES = 24
+DEFAULT_COST_UNIT_SECONDS = 0.001
+DEFAULT_VALIDATION_DELAY = 0.05
+PBFT_COMMITTEE_SIZE = 7
+
+
+@dataclass(frozen=True)
+class LifecycleRunResult:
+    """Everything one pipeline run produced, ready for reporting."""
+
+    chain: str
+    executor: str
+    blocks: int
+    admitted: int
+    committed: int
+    dropped: int
+    traces: tuple[StitchedTrace, ...]
+
+    @property
+    def closed(self) -> int:
+        return self.committed + self.dropped
+
+    @property
+    def open(self) -> int:
+        return len(self.traces) - self.closed
+
+    def breakdown(self) -> dict[str, StageStats]:
+        return stage_breakdown(self.traces)
+
+
+def _block_dag(profile, payload, packed_hashes: set[str], cores: int):
+    """The dependency-DAG engine over the *packed* subset of a block."""
+    from repro.execution import account_dag, run_dag, utxo_dag
+
+    subset = [tx for tx in payload if tx.tx_hash in packed_hashes]
+    if profile.data_model == "utxo":
+        dag = utxo_dag(subset)
+    else:
+        dag = account_dag(subset)
+    return run_dag(dag, cores)
+
+
+def run_lifecycle(
+    profile,
+    *,
+    blocks: int,
+    seed: int,
+    cores: int,
+    executor: str = "dag",
+    scale: float = 1.0,
+    nodes: int = DEFAULT_NODES,
+    mempool_weight: int | None = None,
+    cost_unit_seconds: float = DEFAULT_COST_UNIT_SECONDS,
+    validation_delay: float = DEFAULT_VALIDATION_DELAY,
+) -> LifecycleRunResult:
+    """Run *profile*'s seeded workload through the full pipeline.
+
+    Args:
+        profile: a :class:`~repro.workload.profiles.ChainProfile`.
+        blocks: number of blocks to generate and commit.
+        seed: workload + pipeline randomness seed (deterministic).
+        cores: simulated cores for the execution engine.
+        executor: engine name (``dag`` or any task-executor name from
+            :data:`repro.obs.regress.EXECUTOR_CHOICES`).
+        scale: workload scale factor passed to the chain builder.
+        nodes: gossip topology size.
+        mempool_weight: pool capacity; ``None`` sizes the pool to never
+            evict, an explicit small cap forces ``dropped`` traces.
+        cost_unit_seconds: simulated seconds per execution cost unit.
+        validation_delay: per-hop block validation delay (seconds).
+
+    Raises:
+        ValueError: unknown executor name or non-positive parameters
+            (the CLI maps these to exit 2).
+    """
+    if blocks < 1:
+        raise ValueError("blocks must be at least 1")
+    if cores < 1:
+        raise ValueError("cores must be at least 1")
+    if nodes < 2:
+        raise ValueError("nodes must be at least 2")
+    if cost_unit_seconds <= 0:
+        raise ValueError("cost_unit_seconds must be positive")
+    if mempool_weight is not None and mempool_weight < 1:
+        raise ValueError("mempool_weight must be positive")
+    task_executor = (
+        None if executor == "dag" else make_executor(executor, cores)
+    )
+
+    rng = random.Random(seed)
+    network = GossipNetwork.random_topology(
+        nodes, rng=random.Random(seed)
+    )
+    origin = "n0"
+    pbft = None
+    if profile.num_shards > 0:
+        from repro.consensus.pbft import PBFTCommittee
+
+        pbft = PBFTCommittee(
+            size=PBFT_COMMITTEE_SIZE, rng=random.Random(seed)
+        )
+
+    life = obs.lifecycle()
+    recorder = obs.get_recorder()
+    pool: Mempool = Mempool(
+        max_weight=mempool_weight if mempool_weight is not None
+        else 2 ** 62,
+        min_fee_rate=1.0,
+    )
+
+    admitted = 0
+    executed_hashes: set[str] = set()
+    with obs.trace_span(
+        "lifecycle.run", chain=profile.name, executor=executor
+    ):
+        for height, tasks, payload in chain_task_blocks(
+            profile, blocks=blocks, seed=seed, scale=scale
+        ):
+            if not tasks:
+                continue
+            # 1. Admission: transactions arrive spread across the block
+            # interval, each minting its lifecycle root span.
+            step = profile.block_interval / max(1, len(tasks))
+            for task in tasks:
+                life.advance(step)
+                weight = max(1, round(task.cost))
+                fee = int(weight * (1.0 + 4.0 * rng.random())) + weight
+                pool.submit(PoolEntry(
+                    tx_hash=task.tx_hash, fee=fee, weight=weight,
+                    payload=task,
+                ))
+                admitted += 1
+
+            pending = pool.entries_by_fee_rate()
+            if not pending:
+                continue
+            # 2. Gossip: the pending set floods the topology; relays
+            # and the propagated mark land on each trace.
+            result = network.propagate(
+                origin,
+                validation_delay=validation_delay,
+                tx_hashes=[entry.tx_hash for entry in pending],
+            )
+            life.advance(result.coverage_time(1.0))
+
+            # 3. Sharded profiles dispatch to committees.
+            if profile.num_shards > 0:
+                from repro.sharding.committee import shard_for_address
+
+                for entry in pending:
+                    shard = shard_for_address(
+                        entry.tx_hash, profile.num_shards
+                    )
+                    life.record(entry.tx_hash, "assigned", shard=shard)
+
+            # 4. Packing + consensus.  The budget spans the whole pool,
+            # so every surviving (non-evicted) transaction is included.
+            packed = pool.pack_block(max(1, pool.total_weight))
+            if not packed:
+                continue
+            if pbft is not None:
+                round_result = pbft.run_round()
+                latency = round_result.latency
+                mechanism = "pbft"
+            else:
+                latency = rng.expovariate(1.0 / profile.block_interval)
+                mechanism = "pow"
+            life.advance(latency)
+            for entry in packed:
+                life.record(
+                    entry.tx_hash, "consensus",
+                    block=height, mechanism=mechanism,
+                )
+
+            # 5. Execution replay + stitch.
+            packed_hashes = {entry.tx_hash for entry in packed}
+            executed_hashes |= packed_hashes
+            execute_at = life.clock
+            with recorder.block(height):
+                if task_executor is None:
+                    report = _block_dag(
+                        profile, payload, packed_hashes, cores
+                    )
+                else:
+                    packed_tasks = [entry.payload for entry in packed]
+                    report = task_executor.run(packed_tasks)
+            stitch_execution_events(
+                life,
+                recorder.events(block=height),
+                at=execute_at,
+                cost_unit_seconds=cost_unit_seconds,
+            )
+            life.advance(report.wall_time * cost_unit_seconds)
+
+    traces = tuple(life.traces())
+    committed = sum(1 for t in traces if t.outcome == "committed")
+    dropped = sum(1 for t in traces if t.outcome == "dropped")
+    return LifecycleRunResult(
+        chain=profile.name,
+        executor=executor,
+        blocks=blocks,
+        admitted=admitted,
+        committed=committed,
+        dropped=dropped,
+        traces=traces,
+    )
+
+
+__all__ = [
+    "DEFAULT_COST_UNIT_SECONDS",
+    "DEFAULT_NODES",
+    "DEFAULT_VALIDATION_DELAY",
+    "PBFT_COMMITTEE_SIZE",
+    "LifecycleRunResult",
+    "run_lifecycle",
+]

@@ -60,8 +60,18 @@ DEFAULT_EXECUTORS = (
 
 # Histogram families measured in real time (host-dependent seconds)
 # keep only their observation counts in a snapshot; everything else in
-# the registry is simulated units and fully deterministic.
+# the registry is simulated units and fully deterministic.  Lifecycle
+# stage histograms are simulated seconds on the pipeline clock, so
+# their names deliberately avoid these markers and their sums gate.
 _REALTIME_MARKERS = ("seconds", "_ns", "duration")
+
+# Metric families the lifecycle pipeline pass contributes to the main
+# snapshot.  The pass replays the executors a second time, so its
+# exec.*/tdg.* recordings are dropped — merging them would double-count
+# the canonical executor pass above.
+_LIFECYCLE_METRIC_PREFIXES = (
+    "lifecycle.", "mempool.", "gossip.", "consensus.", "sharding.",
+)
 
 
 # -- canonical workload -------------------------------------------------------
@@ -277,6 +287,35 @@ def build_snapshot(
                     / len(profiles) if profiles else 0.0
                 ),
             }
+        # Lifecycle pipeline pass: the same seeded workload end to end
+        # (mempool → gossip → consensus → execution) under a NESTED
+        # instrumented scope, so its second executor replay cannot
+        # bleed into the timeline/bounds sections above.  Only the
+        # pipeline-stage metric families merge back.
+        from repro.obs.lifecycle_run import run_lifecycle
+
+        with obs.instrumented() as life_state:
+            life_result = run_lifecycle(
+                profile, blocks=blocks, seed=seed, cores=cores,
+            )
+        state.registry.merge_dump(
+            record for record in life_state.registry.dump()
+            if str(record["name"]).startswith(_LIFECYCLE_METRIC_PREFIXES)
+        )
+        lifecycle_section: dict[str, object] = {
+            "admitted": life_result.admitted,
+            "committed": life_result.committed,
+            "dropped": life_result.dropped,
+            "open": life_result.open,
+            "stages": {
+                stage: {
+                    "count": stats.count,
+                    "sum": round(stats.total, 9),
+                }
+                for stage, stats in life_result.breakdown().items()
+            },
+        }
+
         metrics = deterministic_metrics(state.registry.snapshot())
 
     return {
@@ -291,6 +330,7 @@ def build_snapshot(
         "metrics": metrics,
         "timeline": timeline,
         "bounds": bound_checks,
+        "lifecycle": lifecycle_section,
     }
 
 

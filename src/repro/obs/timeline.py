@@ -10,8 +10,12 @@ schedule itself as a stream of structured events::
 * ``kind`` is one of :data:`EVENT_KINDS` — ``schedule`` (the task
   entered a phase's work queue), ``start`` (a lane began executing it),
   ``abort`` (it finished but failed validation), ``retry`` (it was
-  re-queued after an abort or binned for re-execution) and ``commit``
-  (it finished for good).
+  re-queued after an abort or binned for re-execution), ``commit``
+  (it finished for good) and ``edge`` (a dependency handoff
+  ``pred->succ`` recorded by the DAG executor; ``task`` carries both
+  hashes joined by ``->`` and the exporters turn it into a Chrome
+  trace flow arrow from the predecessor's commit to the successor's
+  start).
 * ``lane`` is the simulated worker lane (core index); ``-1`` marks
   events that are not tied to a lane (queue-side ``schedule``/``retry``).
 * ``clock`` is the executor's *logical* clock in cost units — the same
@@ -49,7 +53,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
-EVENT_KINDS = ("schedule", "start", "abort", "retry", "commit")
+EVENT_KINDS = ("schedule", "start", "abort", "retry", "commit", "edge")
+
+EDGE_SEPARATOR = "->"
 
 # Internal storage row: (executor, block, round, kind, task, lane,
 # clock, cost).  Events materialise to TimelineEvent only on read.
@@ -444,6 +450,7 @@ def retry_rows(
 
 
 __all__ = [
+    "EDGE_SEPARATOR",
     "EVENT_KINDS",
     "NOOP_RECORDER",
     "QUEUE_LANE",

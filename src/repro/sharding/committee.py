@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.chain.errors import ShardingError
 
 
@@ -34,7 +35,10 @@ def shard_for_address(address: str, num_shards: int) -> int:
         value = int(stripped[-8:], 16)
     except ValueError as exc:
         raise ShardingError(f"address {address!r} is not hex") from exc
-    return value % num_shards
+    shard = value % num_shards
+    if obs.enabled():
+        obs.counter("sharding.dispatch", shard=shard).inc()
+    return shard
 
 
 @dataclass(frozen=True)
@@ -94,6 +98,14 @@ class CommitteeAssignment:
             raise ShardingError(
                 f"{self.nodes_required} nodes required, got {len(nodes)}"
             )
+        with obs.trace_span(
+            "sharding.assign", shards=self.num_shards, nodes=len(nodes)
+        ):
+            return self._assign(nodes)
+
+    def _assign(
+        self, nodes: list[NodeIdentity]
+    ) -> tuple[list[NodeIdentity], list[list[NodeIdentity]]]:
         finish_times = {
             node.node_id: self.rng.expovariate(node.hashpower)
             for node in nodes

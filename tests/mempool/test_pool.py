@@ -206,3 +206,64 @@ class TestDependencyAwarePacking:
     def test_budget_validation(self):
         with pytest.raises(MempoolError):
             Mempool().pack_block_with_dependencies(0, parents={})
+
+
+class TestLifecycleInstrumentation:
+    def test_submit_opens_trace_and_eviction_closes_dropped(self):
+        from repro import obs
+
+        with obs.instrumented() as state:
+            pool = Mempool(max_weight=20, min_fee_rate=0.1)
+            pool.submit(_entry("cheap", fee=10, weight=10))
+            pool.submit(_entry("rich", fee=100, weight=10))
+            # Third entry overflows capacity; the lowest fee rate goes.
+            pool.submit(_entry("richer", fee=200, weight=10))
+            assert "cheap" not in pool
+            cheap = state.lifecycle.trace("cheap")
+            assert cheap.outcome == "dropped"
+            assert cheap.events[-1].attrs["reason"] == "evicted"
+            assert state.lifecycle.trace("rich").outcome is None
+            counters = state.registry.snapshot()["counters"]
+            assert counters["mempool.evicted"] == 1.0
+            assert counters["lifecycle.closed{outcome=dropped}"] == 1.0
+            spans = [
+                span for span in state.tracer.spans()
+                if span.name == "mempool.evict"
+            ]
+            assert spans and spans[-1].attrs["evicted"] == 1
+
+    def test_replaced_transaction_closes_dropped(self):
+        from repro import obs
+
+        with obs.instrumented() as state:
+            pool = Mempool(replacement_factor=1.5)
+            pool.submit(
+                _entry("old", fee=100, replacement_key="alice:0")
+            )
+            pool.submit(
+                _entry("bump", fee=200, replacement_key="alice:0")
+            )
+            old = state.lifecycle.trace("old")
+            assert old.outcome == "dropped"
+            assert old.events[-1].attrs["reason"] == "replaced"
+            assert state.lifecycle.trace("bump").outcome is None
+
+    def test_packing_records_included_stage(self):
+        from repro import obs
+
+        with obs.instrumented() as state:
+            pool = Mempool(min_fee_rate=0.1)
+            pool.submit(_entry("a", fee=100, weight=10))
+            pool.pack_block(100)
+            trace = state.lifecycle.trace("a")
+            assert trace.stages == ("admitted", "included")
+
+    def test_untraced_pool_still_works_when_disabled(self):
+        from repro import obs
+
+        obs.uninstall()
+        pool = Mempool(max_weight=20, min_fee_rate=0.1)
+        pool.submit(_entry("a", fee=10, weight=10))
+        pool.submit(_entry("b", fee=100, weight=20))
+        assert "a" not in pool  # evicted, silently
+        assert pool.pack_block(100)

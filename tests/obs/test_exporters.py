@@ -256,3 +256,111 @@ class TestChromeTrace:
         assert [
             e["ph"] for e in chrome_trace_events(recorder.events())
         ] == ["M"]  # only the process metadata, no slice
+
+
+def _dag_recorder_with_edge():
+    """Two tasks, a handoff a->b, plus one dangling edge."""
+    recorder = FlightRecorder()
+    with recorder.block(1):
+        recorder.record("start", "a", executor="dag", lane=0,
+                        clock=0.0, cost=2.0)
+        recorder.record("commit", "a", executor="dag", lane=0,
+                        clock=2.0)
+        recorder.record("start", "b", executor="dag", lane=1,
+                        clock=2.0, cost=1.0)
+        recorder.record("commit", "b", executor="dag", lane=1,
+                        clock=3.0)
+        recorder.record("edge", "a->b", executor="dag", clock=2.0)
+        recorder.record("edge", "a->ghost", executor="dag", clock=2.0)
+    return recorder
+
+
+class TestEdgeFlowEvents:
+    def test_edges_become_flow_pairs_bound_to_slices(self):
+        events = chrome_trace_events(
+            _dag_recorder_with_edge().events(), clock_unit_us=1.0
+        )
+        flows = [e for e in events if e.get("cat") == "handoff"]
+        # One resolvable edge -> one s/f pair; the dangling edge
+        # (missing successor slice) is skipped, not drawn.
+        assert [e["ph"] for e in flows] == ["s", "f"]
+        start, finish = flows
+        assert start["args"] == {"from": "a", "to": "b", "block": 1}
+        assert start["id"] == finish["id"]
+        assert finish["bp"] == "e"
+        # The arrow leaves a's commit and lands on b's start.
+        assert start["ts"] == 2.0
+        assert finish["ts"] == 2.0
+        assert start["tid"] == 1   # a on lane 0
+        assert finish["tid"] == 2  # b on lane 1
+
+    def test_edge_events_emit_no_slices_or_instants(self):
+        events = chrome_trace_events(
+            _dag_recorder_with_edge().events(), clock_unit_us=1.0
+        )
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in slices} == {"a", "b"}
+
+
+class TestLifecycleTraceEvents:
+    def _traces(self):
+        from repro.obs.lifecycle import LifecycleTracer
+
+        tracer = LifecycleTracer()
+        tracer.begin("tx1", at=0.0)
+        tracer.record("tx1", "included", at=2.0)
+        tracer.close("tx1", at=3.0)
+        tracer.begin("lonely", at=1.0)
+        return tracer.traces()
+
+    def test_stage_swimlanes_and_flow_chain(self):
+        from repro.obs.exporters import (
+            LIFECYCLE_PID,
+            lifecycle_trace_events,
+        )
+
+        events = lifecycle_trace_events(self._traces(), second_us=10.0)
+        assert all(e["pid"] == LIFECYCLE_PID for e in events)
+        names = {
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {"admitted", "included", "committed"}
+        slices = [e for e in events if e["ph"] == "X"
+                  and e["name"] == "tx1"]
+        # Slices extend to the next stage event: 0->2, 2->3, terminal 0.
+        assert [(e["ts"], e["dur"]) for e in slices] == [
+            (0.0, 20.0), (20.0, 10.0), (30.0, 0.0),
+        ]
+        flow = [e for e in events if e.get("cat") == "lifecycle"
+                and e["ph"] in ("s", "t", "f")]
+        assert [e["ph"] for e in flow] == ["s", "t", "f"]
+        assert len({e["id"] for e in flow}) == 1
+        assert flow[-1]["bp"] == "e"
+
+    def test_single_event_trace_gets_no_flow(self):
+        from repro.obs.exporters import lifecycle_trace_events
+
+        events = lifecycle_trace_events(self._traces())
+        lonely = [e for e in events if e.get("name") == "lonely"]
+        assert [e["ph"] for e in lonely] == ["X"]
+
+    def test_empty_traces_emit_nothing(self):
+        from repro.obs.exporters import lifecycle_trace_events
+
+        assert lifecycle_trace_events([]) == []
+
+    def test_write_chrome_trace_joins_lifecycle_process(self, tmp_path):
+        from repro.obs.exporters import LIFECYCLE_PID
+
+        path = tmp_path / "joined.json"
+        recorder = _dag_recorder_with_edge()
+        count = write_chrome_trace(
+            path, recorder.events(), lifecycle_traces=self._traces()
+        )
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert count == len(events)
+        pids = {e["pid"] for e in events}
+        assert LIFECYCLE_PID in pids and len(pids) > 1
+        assert document["otherData"]["second_us"] == 1000.0

@@ -215,3 +215,63 @@ class TestDumpAndMerge:
         target = MetricsRegistry()
         target.merge_dump(dump)
         assert target.snapshot() == self._populated().snapshot()
+
+
+class TestConcurrentMergeDump:
+    def test_merges_from_many_threads_are_exact(self):
+        """Thread-backend workers merge their dumps into the parent
+        concurrently at join; totals must come out exact."""
+        parent = MetricsRegistry()
+        num_workers, per_worker = 8, 200
+
+        def worker_dump():
+            worker = MetricsRegistry()
+            worker.counter("lifecycle.events").inc(per_worker)
+            for value in range(per_worker):
+                worker.histogram(
+                    "lifecycle.stage.committed"
+                ).observe(float(value))
+            return worker.dump()
+
+        dumps = [worker_dump() for _ in range(num_workers)]
+        threads = [
+            threading.Thread(target=parent.merge_dump, args=(dump,))
+            for dump in dumps
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert parent.counter("lifecycle.events").value == \
+            num_workers * per_worker
+        hist = parent.histogram("lifecycle.stage.committed")
+        assert hist.count == num_workers * per_worker
+        assert hist.percentile(1.0) == float(per_worker - 1)
+
+    def test_merge_while_recording_loses_nothing(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.counter("lifecycle.events").inc(500)
+        dump = worker.dump()
+        stop = threading.Event()
+
+        def record():
+            while not stop.is_set():
+                parent.counter("lifecycle.opened").inc()
+
+        recorder = threading.Thread(target=record)
+        recorder.start()
+        try:
+            mergers = [
+                threading.Thread(target=parent.merge_dump, args=(dump,))
+                for _ in range(4)
+            ]
+            for thread in mergers:
+                thread.start()
+            for thread in mergers:
+                thread.join()
+        finally:
+            stop.set()
+            recorder.join()
+        assert parent.counter("lifecycle.events").value == 2000.0
+        assert parent.counter("lifecycle.opened").value > 0
