@@ -12,6 +12,8 @@ Usage (also installed as the ``repro`` console script)::
         --trace-out spans.jsonl
     python -m repro.cli analyze --chain bitcoin --blocks 500 \
         --backend process --jobs 8
+    python -m repro.cli replay --chain ethereum --blocks 40 \
+        --backend process --jobs 4 --out replay_trace.json
 
 Every command is deterministic under ``--seed`` — including the
 parallel analysis backends (``--backend`` / ``--jobs``), which produce
@@ -187,11 +189,49 @@ def cmd_speedup(args: argparse.Namespace) -> int:
         title=f"{args.chain}: group-concurrency speed-ups (Eq. 2)",
         value_format="{:10.3f}",
     ))
+    if args.measured:
+        from repro.execution.parallel_replay import ENGINES, replay_profile
+
+        parallel = _parallel_kwargs(args)
+        profile = _resolve_profile(args.chain)
+        per_core = {}
+        for n in cores:
+            result = replay_profile(
+                profile, blocks=args.blocks, seed=args.seed,
+                scale=args.scale, engines=ENGINES, cores=n, **parallel,
+            )
+            per_core[n] = {s.engine: s for s in result.summaries()}
+        print()
+        print(render_table(
+            ["engine", *(f"{n} cores" for n in cores)],
+            [
+                (engine,
+                 *(f"{per_core[n][engine].speedup:7.3f}" for n in cores))
+                for engine in ENGINES
+            ],
+            title=(
+                f"{args.chain}: measured replay speed-ups "
+                f"({parallel['backend']} backend)"
+            ),
+        ))
+        roots = {
+            per_core[n][engine].state_root
+            for n in cores for engine in ENGINES
+        }
+        if len(roots) == 1:
+            print("state roots identical across all engines and core "
+                  "counts")
+        else:
+            print("warning: engines disagree on committed state roots",
+                  file=sys.stderr)
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     parallel = _parallel_kwargs(args)
+    headers = ["chain", "mean txs", "single conflict", "group conflict"]
+    if args.measured:
+        headers += ["spec R", "group R"]
     rows = []
     for name in (args.left, args.right):
         profile = _resolve_profile(name)
@@ -207,19 +247,29 @@ def cmd_compare(args: argparse.Namespace) -> int:
         group = sum(
             r.metrics.group_conflict_rate * r.weight_tx for r in records
         ) / weight
-        rows.append(
-            (
-                name,
-                f"{chain.history.mean_transactions_per_block():9.1f}",
-                format_rate(single),
-                format_rate(group),
-            )
+        row = (
+            name,
+            f"{chain.history.mean_transactions_per_block():9.1f}",
+            format_rate(single),
+            format_rate(group),
         )
-    print(render_table(
-        ["chain", "mean txs", "single conflict", "group conflict"],
-        rows,
-        title="chain comparison (cf. paper Figs. 8-9)",
-    ))
+        if args.measured:
+            from repro.execution.parallel_replay import replay_profile
+
+            result = replay_profile(
+                profile, blocks=args.blocks, seed=args.seed,
+                scale=args.scale, engines=("speculative", "grouped"),
+                cores=args.cores, **parallel,
+            )
+            row = row + (
+                f"{result.summary('speculative').speedup:6.3f}",
+                f"{result.summary('grouped').speedup:6.3f}",
+            )
+        rows.append(row)
+    title = "chain comparison (cf. paper Figs. 8-9)"
+    if args.measured:
+        title += f"; measured R on {args.cores} cores"
+    print(render_table(headers, rows, title=title))
     return 0
 
 
@@ -568,6 +618,94 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Fan a chain's executor replay over workers; print per-engine digests.
+
+    Every block replays through every requested engine on the chosen
+    backend (``--backend serial|thread|process``).  The printed table
+    carries each engine's measured speed-up and determinism digests;
+    the command exits 1 when any two engines disagree on the committed
+    state root — the same cross-executor differential check
+    ``tests/execution/test_differential.py`` runs in CI.
+    """
+    from repro import obs
+    from repro.execution.parallel_replay import (
+        ENGINES,
+        replay_profile,
+        validate_engines,
+    )
+    from repro.obs.exporters import write_chrome_trace
+
+    profile = _resolve_profile(args.chain)
+    if args.cores < 1:
+        raise CLIError("--cores must be at least 1")
+    if args.blocks < 1:
+        raise CLIError("--blocks must be at least 1")
+    if args.engines:
+        requested = tuple(
+            part.strip() for part in args.engines.split(",") if part.strip()
+        )
+    else:
+        requested = ENGINES
+    try:
+        engines = validate_engines(requested)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    parallel = _parallel_kwargs(args)
+
+    with obs.instrumented() as state:
+        result = replay_profile(
+            profile, blocks=args.blocks, seed=args.seed, scale=args.scale,
+            engines=engines, cores=args.cores, **parallel,
+        )
+    summaries = result.summaries()
+    print(render_table(
+        ["engine", "blocks", "txs", "wall", "R", "commits", "aborts",
+         "retries", "state root"],
+        [
+            (
+                s.engine,
+                str(s.blocks),
+                str(s.tasks),
+                f"{s.wall_time:9.1f}",
+                f"{s.speedup:6.3f}",
+                str(s.committed),
+                str(s.aborted),
+                str(s.retried),
+                s.state_root[:16],
+            )
+            for s in summaries
+        ],
+        title=(
+            f"{args.chain}: executor replay on {args.cores} cores "
+            f"({parallel['backend']} backend, {args.blocks} blocks)"
+        ),
+    ))
+    roots = {s.state_root for s in summaries}
+    receipt_roots = {s.receipt_root for s in summaries}
+    if len(roots) == 1 and len(receipt_roots) == 1:
+        print(
+            f"state roots agree across {len(summaries)} engine(s): "
+            f"{next(iter(roots))[:16]}"
+        )
+        status = 0
+    else:
+        print(
+            "DIVERGENCE: engines disagree on the committed state",
+            file=sys.stderr,
+        )
+        for s in summaries:
+            print(f"  {s.engine}: {s.state_root}", file=sys.stderr)
+        status = 1
+    if args.out:
+        try:
+            count = write_chrome_trace(args.out, state.recorder.events())
+        except OSError as exc:
+            raise CLIError(f"cannot write trace file: {exc}") from None
+        print(f"wrote {count} trace events to {args.out}")
+    return status
+
+
 def cmd_lifecycle(args: argparse.Namespace) -> int:
     """Run the full pipeline; print the per-stage latency breakdown.
 
@@ -661,6 +799,36 @@ def cmd_lifecycle(args: argparse.Namespace) -> int:
             raise CLIError(f"cannot write trace file: {exc}") from None
         print()
         print(f"wrote {count} trace events to {args.out}")
+    parallel = _parallel_kwargs(args)
+    if parallel["backend"] != "serial":
+        # A fanned-out verification replay of the same seeded blocks:
+        # the chosen executor must reach the exact per-block commit
+        # state the serial replay does, whichever backend carried it.
+        from repro.execution.parallel_replay import replay_profile
+
+        serial = replay_profile(
+            profile, blocks=args.blocks, seed=args.seed, scale=args.scale,
+            engines=(args.executor,), cores=args.cores, backend="serial",
+        )
+        fanned = replay_profile(
+            profile, blocks=args.blocks, seed=args.seed, scale=args.scale,
+            engines=(args.executor,), cores=args.cores, **parallel,
+        )
+        print()
+        if serial.records == fanned.records:
+            root = serial.summary(args.executor).state_root
+            print(
+                f"parallel replay verification ({parallel['backend']} "
+                f"backend, jobs={parallel['jobs']}): state root "
+                f"{root[:16]} matches the serial replay"
+            )
+        else:
+            print(
+                f"parallel replay verification ({parallel['backend']} "
+                "backend): DIVERGENCE from the serial replay",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -811,6 +979,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_args(sub)
     sub.add_argument("--cores", default="4,8,64",
                      help="comma-separated core counts")
+    sub.add_argument(
+        "--measured", action="store_true",
+        help="also replay every engine at each core count and print "
+             "measured speed-ups beside the Eq. 1 / Eq. 2 bounds",
+    )
     sub.set_defaults(func=cmd_speedup)
 
     sub = subparsers.add_parser(
@@ -822,6 +995,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--seed", type=int, default=0)
     sub.add_argument("--scale", type=float, default=0.5)
     _add_parallel_args(sub)
+    sub.add_argument("--cores", type=int, default=4,
+                     help="simulated cores for --measured replays")
+    sub.add_argument(
+        "--measured", action="store_true",
+        help="add measured speculative/grouped speed-up columns from a "
+             "replay of each chain",
+    )
     sub.set_defaults(func=cmd_compare)
 
     sub = subparsers.add_parser(
@@ -883,6 +1063,39 @@ def build_parser() -> argparse.ArgumentParser:
     sub.set_defaults(func=cmd_timeline)
 
     sub = subparsers.add_parser(
+        "replay",
+        help="fan the per-block executor replay over workers; print "
+             "per-engine speed-ups and state-root digests (exit 1 on "
+             "cross-engine divergence)",
+    )
+    known = ", ".join(sorted(PROFILES_BY_NAME))
+    sub.add_argument(
+        "--chain", required=True, metavar="NAME",
+        help=f"which blockchain profile to replay (one of: {known})",
+    )
+    from repro.execution.parallel_replay import ENGINES as _ENGINE_NAMES
+
+    sub.add_argument(
+        "--engines", default="", metavar="A,B,...",
+        help="comma-separated engine subset (default: all of "
+             f"{', '.join(_ENGINE_NAMES)})",
+    )
+    sub.add_argument("--blocks", type=int, default=20,
+                     help="number of blocks to replay")
+    sub.add_argument("--seed", type=int, default=0,
+                     help="determinism seed")
+    sub.add_argument("--scale", type=float, default=1.0,
+                     help="transaction-volume multiplier")
+    sub.add_argument("--cores", type=int, default=4,
+                     help="simulated cores handed to each engine")
+    _add_parallel_args(sub)
+    sub.add_argument(
+        "--out", default="",
+        help="write the merged replay events as a Chrome trace here",
+    )
+    sub.set_defaults(func=cmd_replay)
+
+    sub = subparsers.add_parser(
         "lifecycle",
         help="trace every transaction mempool→gossip→consensus→commit; "
              "print the per-stage latency breakdown",
@@ -919,6 +1132,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="",
         help="write a Chrome trace (execution + lifecycle flows) here",
     )
+    _add_parallel_args(sub)
     sub.set_defaults(func=cmd_lifecycle)
 
     sub = subparsers.add_parser(

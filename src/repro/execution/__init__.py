@@ -18,6 +18,16 @@ from repro.execution.dag import (
 )
 from repro.execution.grouped import GroupedExecutor
 from repro.execution.occ import OCCExecutor
+from repro.execution.parallel_replay import (
+    ENGINES,
+    BlockReplay,
+    EngineSummary,
+    ReplayBlock,
+    ReplayResult,
+    replay_block_inputs,
+    replay_chain,
+    replay_profile,
+)
 from repro.execution.simulator import CoreSimulator, SimulatedRun
 from repro.execution.speculative import (
     InformedSpeculativeExecutor,
@@ -41,6 +51,14 @@ __all__ = [
     "utxo_dag",
     "GroupedExecutor",
     "OCCExecutor",
+    "ENGINES",
+    "BlockReplay",
+    "EngineSummary",
+    "ReplayBlock",
+    "ReplayResult",
+    "replay_block_inputs",
+    "replay_chain",
+    "replay_profile",
     "CoreSimulator",
     "SimulatedRun",
     "InformedSpeculativeExecutor",

@@ -4,7 +4,10 @@ A third engine design, between the paper's two models: execute pending
 transactions in parallel waves with no locking; at the end of each wave
 commit transactions in block order, aborting any whose read/write sets
 overlap the writes of a transaction committed earlier *in the same
-wave*.  Aborted transactions retry in the next wave.
+wave* — or that conflict with an earlier transaction that itself
+aborted (committing past it would reorder conflicting transactions
+against block order, diverging from the sequential state).  Aborted
+transactions retry in the next wave.
 
 This is the software-transactional-memory approach of Dickerson et al.
 (paper ref. [6]) reduced to its scheduling skeleton, and it converges:
@@ -69,11 +72,25 @@ class OCCExecutor:
                 run = simulator.run_wave(pending)
                 wall += run.makespan
                 committed_writes: set[str] = set()
+                aborted_writes: set[str] = set()
+                aborted_reads: set[str] = set()
                 next_round: list[TxTask] = []
                 for task in pending:  # commit in block order
                     touches = (task.reads | task.writes) & committed_writes
-                    if touches:
+                    # Block-order preservation: a task that conflicts
+                    # with an EARLIER task aborted in this wave must
+                    # abort too, or it would commit ahead of it and the
+                    # final state would no longer equal the sequential
+                    # block-order state (the differential suite checks
+                    # exactly this via per-location commit-order roots).
+                    blocked = (
+                        (task.reads | task.writes) & aborted_writes
+                        or task.writes & aborted_reads
+                    )
+                    if touches or blocked:
                         aborts += 1
+                        aborted_writes |= task.writes
+                        aborted_reads |= task.reads
                         next_round.append(task)
                     else:
                         committed_writes |= task.writes

@@ -1,0 +1,886 @@
+"""Parallel executor replay — fan per-block engine replay over workers.
+
+:mod:`repro.core.parallel` fans the *analysis* pipeline (TDG + metrics)
+across blocks; this module does the same for the *execution* replay
+itself.  A chain's blocks are partitioned into contiguous chunks, each
+chunk replays every requested engine (the seven of
+:data:`ENGINES`) inside a worker, and the per-(block, engine)
+:class:`BlockReplay` records are reassembled in height order — together
+with two determinism digests per record:
+
+* ``state_root`` — per-location write chains folded in commit order
+  (the order the engine's flight-recorder ``commit`` events fire,
+  block position breaking clock ties) and hashed over the sorted
+  (location, chain) pairs.  Every engine preserves block order among
+  the writers of any single location — that is the serializable-
+  equivalence contract the differential suite enforces — so all seven
+  engines must produce byte-identical roots.
+* ``receipt_root`` — a digest of the block's raw payload (receipts /
+  transactions) in block order.  It is engine-independent by
+  construction and exists to prove the *transport* (fork globals,
+  shared memory, explicit pickles) delivered the payload byte-exactly.
+
+Three backends share one code path (``serial`` / ``thread`` /
+``process``), with the same validation, chunking and fallback contract
+as :mod:`repro.core.parallel`.  The process backend adds a transport
+the analysis pipeline lacks: on spawn/forkserver platforms the
+``(inputs, engines, cores)`` context is pickled ONCE into a
+:class:`multiprocessing.shared_memory.SharedMemory` segment and workers
+attach by name — each worker unpickles from the shared buffer instead
+of receiving a per-chunk copy of the payload through the request pipe.
+Where the platform forks, module globals inherited through fork carry
+the context as before and only ``(start, stop)`` pairs travel.
+
+Observability: every chunk replays under a PRIVATE per-thread
+observability scope (:func:`repro.obs.scoped`) with an always-on
+:class:`~repro.obs.timeline.FlightRecorder` — the digests need the
+event stream even when the parent records nothing.  When the parent
+*is* instrumented, the worker registry dump and recorder rows ride
+back with the chunk result and merge in submission (= height) order,
+so ``repro.cli timeline`` / ``regress`` read a fanned-out replay
+identically to a serial one.  The parent additionally records an
+``exec.replay.*`` family (runs / chunks / blocks / fallbacks /
+chunk_seconds / shm_bytes, labelled by backend) plus chunk-granularity
+``replay.<backend>`` flight-recorder triples.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro import obs
+from repro.account.receipts import ExecutedTransaction
+from repro.chain.hashing import hash_concat, hash_fields
+from repro.core.parallel import (
+    chunk_bounds,
+    validate_backend,
+    validate_chunk_size,
+    validate_jobs,
+)
+from repro.execution.engine import ExecutionReport, TxTask
+from repro.obs import ObservabilityState
+from repro.obs.lifecycle import NOOP_LIFECYCLE
+from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
+from repro.obs.timeline import EventRow, FlightRecorder, QUEUE_LANE
+from repro.obs.tracer import NOOP_TRACER
+from repro.utxo.transaction import UTXOTransaction
+
+# Mirrors repro.obs.regress.EXECUTOR_CHOICES; a unit test pins the two
+# tuples equal so the registries cannot drift apart silently.
+ENGINES = (
+    "sequential",
+    "speculative",
+    "speculative-informed",
+    "occ",
+    "grouped",
+    "static-informed",
+    "dag",
+)
+
+DEFAULT_CORES = 4
+DEFAULT_BACKEND = "process"
+
+DATA_MODELS = ("utxo", "account")
+
+
+# -- inputs -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplayBlock:
+    """Pure, picklable description of one block's replay input.
+
+    ``tasks`` are the executor-ready :class:`TxTask` objects, ``payload``
+    the raw transaction sequence the DAG engine and the receipt digest
+    consume.  Nothing references shared ledger state, so a worker can
+    replay the block in isolation.
+    """
+
+    height: int
+    tasks: tuple[TxTask, ...]
+    payload: tuple
+
+
+def replay_block_inputs(
+    profile, *, blocks: int, seed: int, scale: float = 1.0
+) -> list[ReplayBlock]:
+    """Snapshot a seeded chain's blocks as replay inputs."""
+    from repro.obs.regress import chain_task_blocks
+
+    return [
+        ReplayBlock(height=height, tasks=tuple(tasks), payload=tuple(payload))
+        for height, tasks, payload in chain_task_blocks(
+            profile, blocks=blocks, seed=seed, scale=scale
+        )
+    ]
+
+
+def coerce_replay_inputs(source) -> list[ReplayBlock]:
+    """Accept a ReplayBlock list or (height, tasks, payload) triples."""
+    out: list[ReplayBlock] = []
+    for item in source:
+        if isinstance(item, ReplayBlock):
+            out.append(item)
+        else:
+            height, tasks, payload = item
+            out.append(ReplayBlock(
+                height=height, tasks=tuple(tasks), payload=tuple(payload),
+            ))
+    return out
+
+
+def validate_engines(engines: Sequence[str]) -> tuple[str, ...]:
+    """Normalise *engines* (order-preserving) or raise ValueError."""
+    chosen = tuple(engines)
+    if not chosen:
+        raise ValueError("engines must name at least one engine")
+    known = ", ".join(ENGINES)
+    for name in chosen:
+        if name not in ENGINES:
+            raise ValueError(
+                f"unknown engine {name!r}; expected one of: {known}"
+            )
+    if len(set(chosen)) != len(chosen):
+        raise ValueError("engines must not repeat")
+    return chosen
+
+
+# -- determinism digests ------------------------------------------------------
+
+
+def receipt_digest(item) -> str:
+    """Canonical digest of one payload item (hash-seed independent).
+
+    Receipts hold frozensets whose iteration order varies with
+    ``PYTHONHASHSEED`` — every set is sorted before hashing so parent
+    and spawned workers agree byte for byte.
+    """
+    if isinstance(item, ExecutedTransaction):
+        receipt = item.receipt
+        return hash_fields(
+            "account-receipt",
+            item.tx_hash,
+            receipt.success,
+            receipt.gas_used,
+            tuple(
+                (internal.sender, internal.receiver)
+                for internal in receipt.internal_transactions
+            ),
+            receipt.created_contract,
+            tuple(sorted(receipt.storage_reads)),
+            tuple(sorted(receipt.storage_writes)),
+        )
+    if isinstance(item, UTXOTransaction):
+        return hash_fields(
+            "utxo-receipt",
+            item.tx_hash,
+            tuple((op.tx_hash, op.index) for op in item.inputs),
+            tuple(
+                (txo.value, txo.owner, txo.script) for txo in item.outputs
+            ),
+            item.fee,
+        )
+    raise TypeError(f"cannot digest payload item of type {type(item)!r}")
+
+
+def receipts_root(payload: Sequence) -> str:
+    """Digest of a block's payload in block order."""
+    return hash_concat(receipt_digest(item) for item in payload)
+
+
+def state_root(
+    commit_order: Sequence[str],
+    writes_by_hash: Mapping[str, Sequence[str]],
+) -> str:
+    """Fold per-location write chains in commit order; hash sorted pairs.
+
+    Each committed transaction appends itself to the chain of every
+    location it writes; the root hashes the sorted (location, chain)
+    pairs, so it depends on the *relative commit order of each
+    location's writers* and on nothing else — exactly the serializable
+    state a real engine would have produced.
+    """
+    chains: dict[str, str] = {}
+    for tx_hash in commit_order:
+        for location in writes_by_hash.get(tx_hash, ()):
+            chains[location] = hash_fields(
+                "write", chains.get(location, ""), location, tx_hash
+            )
+    return hash_fields("state-root", tuple(sorted(chains.items())))
+
+
+# -- per-(block, engine) records ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class BlockReplay:
+    """One engine's replay of one block, reduced to a picklable record."""
+
+    height: int
+    engine: str
+    wall_time: float
+    total_work: float
+    num_tasks: int
+    aborts: int
+    reexecuted: int
+    rounds: int
+    scheduled: int
+    aborted: int
+    retried: int
+    committed: int
+    commit_order: tuple[str, ...]
+    state_root: str
+    receipt_root: str
+
+    @property
+    def speedup(self) -> float:
+        if self.wall_time == 0:
+            return 1.0
+        return self.total_work / self.wall_time
+
+
+@dataclass(frozen=True)
+class EngineSummary:
+    """One engine's replay aggregated over a whole chain."""
+
+    engine: str
+    blocks: int
+    tasks: int
+    wall_time: float
+    total_work: float
+    aborts: int
+    reexecuted: int
+    scheduled: int
+    aborted: int
+    retried: int
+    committed: int
+    state_root: str
+    receipt_root: str
+
+    @property
+    def speedup(self) -> float:
+        if self.wall_time == 0:
+            return 1.0
+        return self.total_work / self.wall_time
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Height-ordered replay records plus per-engine aggregation."""
+
+    engines: tuple[str, ...]
+    records: tuple[BlockReplay, ...]
+
+    def for_engine(self, engine: str) -> list[BlockReplay]:
+        return [r for r in self.records if r.engine == engine]
+
+    def summary(self, engine: str) -> EngineSummary:
+        rows = self.for_engine(engine)
+        return EngineSummary(
+            engine=engine,
+            blocks=len(rows),
+            tasks=sum(r.num_tasks for r in rows),
+            wall_time=sum(r.wall_time for r in rows),
+            total_work=sum(r.total_work for r in rows),
+            aborts=sum(r.aborts for r in rows),
+            reexecuted=sum(r.reexecuted for r in rows),
+            scheduled=sum(r.scheduled for r in rows),
+            aborted=sum(r.aborted for r in rows),
+            retried=sum(r.retried for r in rows),
+            committed=sum(r.committed for r in rows),
+            state_root=hash_fields(
+                "chain-state-root",
+                tuple((r.height, r.state_root) for r in rows),
+            ),
+            receipt_root=hash_fields(
+                "chain-receipt-root",
+                tuple((r.height, r.receipt_root) for r in rows),
+            ),
+        )
+
+    def summaries(self) -> list[EngineSummary]:
+        return [self.summary(engine) for engine in self.engines]
+
+
+# -- worker-side replay -------------------------------------------------------
+
+
+def _run_dag_block(data_model: str, payload: Sequence, cores: int):
+    from repro.execution.dag import account_dag, run_dag, utxo_dag
+
+    if data_model == "utxo":
+        dag = utxo_dag(payload)
+    else:
+        dag = account_dag(payload)
+    return run_dag(dag, cores)
+
+
+class _EngineStats:
+    __slots__ = ("scheduled", "aborted", "retried", "commits")
+
+    def __init__(self) -> None:
+        self.scheduled = 0
+        self.aborted = 0
+        self.retried = 0
+        self.commits: list[tuple[float, int, str]] = []
+
+
+def _block_records(
+    block: ReplayBlock,
+    engines: Sequence[str],
+    reports: Mapping[str, ExecutionReport],
+    rows: Sequence[EventRow],
+) -> list[BlockReplay]:
+    """Reduce one block's event rows to per-engine replay records."""
+    position = {task.tx_hash: i for i, task in enumerate(block.tasks)}
+    writes = {
+        task.tx_hash: tuple(sorted(task.writes)) for task in block.tasks
+    }
+    receipt_root = receipts_root(block.payload)
+    stats = {engine: _EngineStats() for engine in engines}
+    unknown = len(position)
+    for executor, _block, _round, kind, task, _lane, clock, _cost in rows:
+        bucket = stats.get(executor)
+        if bucket is None:
+            continue
+        if kind == "schedule":
+            bucket.scheduled += 1
+        elif kind == "abort":
+            bucket.aborted += 1
+        elif kind == "retry":
+            bucket.retried += 1
+        elif kind == "commit":
+            bucket.commits.append(
+                (clock, position.get(task, unknown), task)
+            )
+    records: list[BlockReplay] = []
+    for engine in engines:
+        bucket = stats[engine]
+        bucket.commits.sort()
+        order = tuple(task for _clock, _pos, task in bucket.commits)
+        report = reports[engine]
+        records.append(BlockReplay(
+            height=block.height,
+            engine=engine,
+            wall_time=report.wall_time,
+            total_work=report.total_work,
+            num_tasks=report.num_tasks,
+            aborts=report.aborts,
+            reexecuted=report.reexecuted,
+            rounds=report.rounds,
+            scheduled=bucket.scheduled,
+            aborted=bucket.aborted,
+            retried=bucket.retried,
+            committed=len(order),
+            commit_order=order,
+            state_root=state_root(order, writes),
+            receipt_root=receipt_root,
+        ))
+    return records
+
+
+def _replay_block(
+    data_model: str,
+    block: ReplayBlock,
+    engines: Sequence[str],
+    cores: int,
+    registry: MetricsRegistry,
+) -> tuple[list[BlockReplay], list[EventRow]]:
+    """Replay one block through every engine under a private recorder.
+
+    The recorder is fresh per block (and per thread, via
+    :func:`repro.obs.scoped`), so concurrent chunks on the thread
+    backend cannot interleave events, and the row stream for a block is
+    identical no matter which worker replayed it.
+    """
+    from repro.obs.regress import make_executor
+
+    recorder = FlightRecorder()
+    scope = ObservabilityState(
+        registry=registry, tracer=NOOP_TRACER, recorder=recorder,
+        lifecycle=NOOP_LIFECYCLE,
+    )
+    reports: dict[str, ExecutionReport] = {}
+    with obs.scoped(scope):
+        with recorder.block(block.height):
+            for engine in engines:
+                if engine == "dag":
+                    reports[engine] = _run_dag_block(
+                        data_model, block.payload, cores
+                    )
+                else:
+                    reports[engine] = make_executor(engine, cores).run(
+                        block.tasks
+                    )
+    rows = recorder.dump_rows()
+    return _block_records(block, engines, reports, rows), rows
+
+
+class ReplayChunkResult:
+    """What a worker ships back for one chunk of blocks.
+
+    ``obs_dump`` / ``rows`` are the worker registry dump and recorder
+    rows when the parent asked for observability forwarding
+    (``record_obs=True``), else ``None`` — digests are carried by the
+    records themselves either way.
+    """
+
+    __slots__ = ("records", "elapsed", "worker_id", "obs_dump", "rows")
+
+    def __init__(
+        self,
+        records: list[BlockReplay],
+        elapsed: float,
+        worker_id: int,
+        obs_dump: list[dict] | None,
+        rows: list[EventRow] | None,
+    ):
+        self.records = records
+        self.elapsed = elapsed
+        self.worker_id = worker_id
+        self.obs_dump = obs_dump
+        self.rows = rows
+
+
+def _replay_chunk(
+    data_model: str,
+    chunk: Sequence[ReplayBlock],
+    engines: Sequence[str],
+    cores: int,
+    record_obs: bool,
+) -> ReplayChunkResult:
+    worker_id = (
+        os.getpid() if threading.current_thread() is threading.main_thread()
+        else threading.get_ident()
+    )
+    registry = MetricsRegistry() if record_obs else NOOP_REGISTRY
+    all_rows: list[EventRow] = []
+    records: list[BlockReplay] = []
+    started = time.perf_counter()
+    for block in chunk:
+        block_records, rows = _replay_block(
+            data_model, block, engines, cores, registry
+        )
+        records.extend(block_records)
+        if record_obs:
+            all_rows.extend(rows)
+    elapsed = time.perf_counter() - started
+    if record_obs:
+        return ReplayChunkResult(
+            records, elapsed, worker_id, registry.dump(), all_rows
+        )
+    return ReplayChunkResult(records, elapsed, worker_id, None, None)
+
+
+def _worker_init() -> None:
+    """Process-pool worker initializer (same rationale as the pipeline's).
+
+    ``gc.freeze()`` keeps the worker's cyclic GC off the heap inherited
+    through fork; ``obs.uninstall()`` drops any recording state copied
+    from an instrumented parent — replay chunks always record into
+    their own scoped state and ship dumps back explicitly.
+    """
+    import gc
+
+    gc.freeze()
+    obs.uninstall()
+
+
+# -- transports ---------------------------------------------------------------
+
+# Fork path: context published in the parent immediately before the
+# pool starts, inherited through fork, cleared after — only
+# (start, stop) pairs travel per chunk.
+_FORK_CONTEXT: tuple | None = None
+
+# Spawn path: one pickled context per run lives in a shared-memory
+# segment; workers attach by name and unpickle once (cached here per
+# segment name), so the payload crosses the process boundary zero
+# times per chunk instead of once per chunk.
+_SHM_CACHE: dict[str, tuple] = {}
+
+
+def _replay_chunk_by_range(
+    start: int, stop: int, record_obs: bool = False
+) -> ReplayChunkResult:
+    assert _FORK_CONTEXT is not None
+    data_model, inputs, engines, cores = _FORK_CONTEXT
+    return _replay_chunk(
+        data_model, inputs[start:stop], engines, cores, record_obs
+    )
+
+
+def _attach_shm(name: str):
+    """Attach to a named segment without resource-tracker side effects.
+
+    On 3.13+ ``track=False`` exists; earlier interpreters register every
+    attachment with the resource tracker, whose exit-time cleanup would
+    unlink the segment out from under the other workers (bpo-38119) —
+    unregister explicitly there.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+        return segment
+
+
+def _load_shm_context(name: str) -> tuple:
+    context = _SHM_CACHE.get(name)
+    if context is None:
+        segment = _attach_shm(name)
+        try:
+            # The segment may be page-rounded past the pickle; loads
+            # stops at the STOP opcode and ignores the tail.
+            context = pickle.loads(segment.buf)
+        finally:
+            segment.close()
+        _SHM_CACHE[name] = context
+    return context
+
+
+def _replay_chunk_from_shm(
+    name: str, start: int, stop: int, record_obs: bool = False
+) -> ReplayChunkResult:
+    data_model, inputs, engines, cores = _load_shm_context(name)
+    return _replay_chunk(
+        data_model, inputs[start:stop], engines, cores, record_obs
+    )
+
+
+def _replay_chunk_explicit(
+    data_model: str,
+    chunk: Sequence[ReplayBlock],
+    engines: Sequence[str],
+    cores: int,
+    record_obs: bool = False,
+) -> ReplayChunkResult:
+    return _replay_chunk(data_model, chunk, engines, cores, record_obs)
+
+
+# -- the fan-out --------------------------------------------------------------
+
+
+def _collect_replay(
+    resolvers: Sequence[Callable[[], ReplayChunkResult]],
+    *,
+    bounds: Sequence[tuple[int, int]],
+    backend: str,
+) -> list[BlockReplay]:
+    """Gather chunk results in submission (= height) order, merging obs.
+
+    Worker registry dumps merge into the installed registry and worker
+    recorder rows replay into the installed recorder chunk by chunk, so
+    the parent's event stream is byte-identical to a serial replay's
+    regardless of which worker finished first.
+    """
+    seconds = obs.histogram("exec.replay.chunk_seconds", backend=backend)
+    registry = obs.get_registry()
+    recorder = obs.get_recorder()
+    executor_name = f"replay.{backend}"
+    lanes: dict[int, int] = {}
+    collect_start = time.perf_counter()
+    records: list[BlockReplay] = []
+    for index, resolve in enumerate(resolvers):
+        start, stop = bounds[index]
+        with obs.trace_span(
+            "exec.replay.chunk",
+            index=index, start=start, blocks=stop - start, backend=backend,
+        ) as span:
+            result = resolve()
+            span.set(worker_seconds=round(result.elapsed, 6))
+        seconds.observe(result.elapsed)
+        if result.obs_dump is not None:
+            registry.merge_dump(result.obs_dump)
+        if result.rows is not None and recorder.enabled:
+            recorder.extend(result.rows)
+        if recorder.enabled:
+            lane = lanes.setdefault(result.worker_id, len(lanes))
+            arrival = time.perf_counter() - collect_start
+            begun = max(0.0, arrival - result.elapsed)
+            task = f"chunk[{start}:{stop})"
+            recorder.extend([
+                (executor_name, None, 0, "schedule", task, QUEUE_LANE,
+                 0.0, 0.0),
+                (executor_name, None, 0, "start", task, lane,
+                 begun, result.elapsed),
+                (executor_name, None, 0, "commit", task, lane,
+                 arrival, result.elapsed),
+            ])
+        records.extend(result.records)
+    return records
+
+
+def _run_replay_process_pool(
+    inputs: list[ReplayBlock],
+    data_model: str,
+    engines: tuple[str, ...],
+    cores: int,
+    bounds: list[tuple[int, int]],
+    jobs: int,
+    record_obs: bool,
+) -> list[BlockReplay]:
+    """Fan chunks over a process pool: fork globals, else shared memory."""
+    global _FORK_CONTEXT
+    from concurrent.futures import ProcessPoolExecutor
+
+    # Honour an explicitly configured start method (the spawn CI shard
+    # sets one); otherwise prefer fork where the platform offers it.
+    method = multiprocessing.get_start_method(allow_none=True)
+    if method in (None, "fork"):
+        try:
+            context = multiprocessing.get_context("fork")
+            fork_sharing = True
+        except ValueError:
+            context = multiprocessing.get_context()
+            fork_sharing = False
+    else:
+        context = multiprocessing.get_context(method)
+        fork_sharing = False
+
+    segment = None
+    if fork_sharing:
+        _FORK_CONTEXT = (data_model, inputs, engines, cores)
+    else:
+        payload = pickle.dumps(
+            (data_model, inputs, engines, cores),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        try:
+            from multiprocessing import shared_memory
+
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, len(payload))
+            )
+            segment.buf[:len(payload)] = payload
+            obs.gauge("exec.replay.shm_bytes").set(len(payload))
+        except (ImportError, OSError, PermissionError):
+            # No shared memory on this platform/sandbox: ship each
+            # chunk's blocks explicitly (the pre-shm behaviour).
+            segment = None
+            obs.counter("exec.replay.shm_fallbacks").inc()
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs, mp_context=context, initializer=_worker_init
+        ) as pool:
+            if fork_sharing:
+                futures = [
+                    pool.submit(_replay_chunk_by_range, start, stop,
+                                record_obs)
+                    for start, stop in bounds
+                ]
+            elif segment is not None:
+                futures = [
+                    pool.submit(_replay_chunk_from_shm, segment.name,
+                                start, stop, record_obs)
+                    for start, stop in bounds
+                ]
+            else:
+                futures = [
+                    pool.submit(_replay_chunk_explicit, data_model,
+                                inputs[start:stop], engines, cores,
+                                record_obs)
+                    for start, stop in bounds
+                ]
+            return _collect_replay(
+                [future.result for future in futures],
+                bounds=bounds, backend="process",
+            )
+    finally:
+        if fork_sharing:
+            _FORK_CONTEXT = None
+        if segment is not None:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def _run_replay_thread_pool(
+    inputs: list[ReplayBlock],
+    data_model: str,
+    engines: tuple[str, ...],
+    cores: int,
+    bounds: list[tuple[int, int]],
+    jobs: int,
+    record_obs: bool,
+) -> list[BlockReplay]:
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(_replay_chunk_explicit, data_model,
+                        inputs[start:stop], engines, cores, record_obs)
+            for start, stop in bounds
+        ]
+        return _collect_replay(
+            [future.result for future in futures],
+            bounds=bounds, backend="thread",
+        )
+
+
+def replay_chain(
+    source,
+    *,
+    data_model: str,
+    engines: Sequence[str] = ENGINES,
+    cores: int = DEFAULT_CORES,
+    backend: str = DEFAULT_BACKEND,
+    jobs: int | None = None,
+    chunk_size: int | None = None,
+) -> ReplayResult:
+    """Replay a chain's blocks through *engines*, maybe in parallel.
+
+    Args:
+        source: a :class:`ReplayBlock` list or an iterable of
+            ``(height, tasks, payload)`` triples (what
+            :func:`repro.obs.regress.chain_task_blocks` yields).
+        data_model: ``"utxo"`` or ``"account"``.
+        engines: engine names from :data:`ENGINES`, order preserved.
+        cores: simulated core count handed to each engine.
+        backend: ``"process"`` (default), ``"thread"`` or ``"serial"``.
+        jobs: worker count; defaults to the CPU count (1 for serial).
+        chunk_size: blocks per work unit; defaults to a balanced value.
+
+    Raises:
+        ValueError: unknown backend / data model / engine, ``jobs < 1``,
+            ``chunk_size < 1`` or ``cores < 1`` (the CLI's exit-2 class).
+
+    The returned records — commit orders, state roots, receipt roots,
+    event counts — are identical for every (backend, jobs, chunk_size)
+    combination; the differential suite enforces it.  A process pool
+    that cannot start degrades to the thread backend (counted in
+    ``exec.replay.fallbacks``).
+    """
+    if data_model not in DATA_MODELS:
+        raise ValueError(f"unknown data model {data_model!r}")
+    engines = validate_engines(engines)
+    if cores < 1:
+        raise ValueError("cores must be at least 1")
+    backend = validate_backend(backend)
+    jobs = validate_jobs(jobs, backend=backend)
+    inputs = coerce_replay_inputs(source)
+    chunk_size = validate_chunk_size(
+        chunk_size, num_blocks=len(inputs), jobs=jobs
+    )
+    record_obs = obs.enabled()
+
+    bounds = chunk_bounds(len(inputs), chunk_size)
+    with obs.trace_span(
+        "exec.replay.run",
+        backend=backend, jobs=jobs, chunks=len(bounds),
+        blocks=len(inputs), engines=len(engines),
+    ):
+        obs.counter("exec.replay.runs", backend=backend).inc()
+        obs.counter("exec.replay.chunks", backend=backend).inc(len(bounds))
+        obs.counter("exec.replay.blocks", backend=backend).inc(len(inputs))
+        obs.gauge("exec.replay.jobs", backend=backend).set(jobs)
+        if backend == "serial":
+            resolvers = [
+                (lambda s=start, e=stop: _replay_chunk(
+                    data_model, inputs[s:e], engines, cores, record_obs
+                ))
+                for start, stop in bounds
+            ]
+            records = _collect_replay(
+                resolvers, bounds=bounds, backend="serial"
+            )
+        elif backend == "process":
+            try:
+                records = _run_replay_process_pool(
+                    inputs, data_model, engines, cores, bounds, jobs,
+                    record_obs,
+                )
+            except (ImportError, NotImplementedError, OSError,
+                    PermissionError):
+                # Sandboxes without sem_open / fork; chunk purity makes
+                # the in-process retry safe.
+                obs.counter(
+                    "exec.replay.fallbacks", backend="process"
+                ).inc()
+                records = _run_replay_thread_pool(
+                    inputs, data_model, engines, cores, bounds, jobs,
+                    record_obs,
+                )
+        else:
+            records = _run_replay_thread_pool(
+                inputs, data_model, engines, cores, bounds, jobs,
+                record_obs,
+            )
+    ordered = sorted(records, key=lambda r: (r.height, engines.index(r.engine)))
+    return ReplayResult(engines=engines, records=tuple(ordered))
+
+
+def replay_profile(
+    chain,
+    *,
+    blocks: int,
+    seed: int,
+    scale: float = 1.0,
+    engines: Sequence[str] = ENGINES,
+    cores: int = DEFAULT_CORES,
+    backend: str = DEFAULT_BACKEND,
+    jobs: int | None = None,
+    chunk_size: int | None = None,
+) -> ReplayResult:
+    """Build a seeded chain by profile (name or object) and replay it."""
+    if isinstance(chain, str):
+        from repro.workload.profiles import PROFILES_BY_NAME
+
+        try:
+            profile = PROFILES_BY_NAME[chain]
+        except KeyError:
+            known = ", ".join(sorted(PROFILES_BY_NAME))
+            raise ValueError(
+                f"unknown chain {chain!r}; known chains: {known}"
+            ) from None
+    else:
+        profile = chain
+    if blocks < 1:
+        raise ValueError("blocks must be at least 1")
+    inputs = replay_block_inputs(
+        profile, blocks=blocks, seed=seed, scale=scale
+    )
+    return replay_chain(
+        inputs,
+        data_model=profile.data_model,
+        engines=engines,
+        cores=cores,
+        backend=backend,
+        jobs=jobs,
+        chunk_size=chunk_size,
+    )
+
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "DEFAULT_CORES",
+    "ENGINES",
+    "BlockReplay",
+    "EngineSummary",
+    "ReplayBlock",
+    "ReplayChunkResult",
+    "ReplayResult",
+    "coerce_replay_inputs",
+    "receipt_digest",
+    "receipts_root",
+    "replay_block_inputs",
+    "replay_chain",
+    "replay_profile",
+    "state_root",
+    "validate_engines",
+]

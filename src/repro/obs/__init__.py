@@ -40,6 +40,7 @@ Naming scheme (full catalogue in ``docs/observability.md``):
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
@@ -94,6 +95,7 @@ __all__ = [
     "install",
     "instrumented",
     "lifecycle",
+    "scoped",
     "trace_span",
     "uninstall",
 ]
@@ -121,6 +123,18 @@ _NOOP_STATE = ObservabilityState(
 )
 _state: ObservabilityState = _NOOP_STATE
 
+# Thread-local override: lets concurrent chunks (thread-backend parallel
+# replay) each record into a private state without touching the process
+# global.  ``_current()`` is the single resolution point every dispatch
+# helper goes through; the common case (no override) is one attribute
+# probe on a thread-local, so the no-op fast path stays flat.
+_local = threading.local()
+
+
+def _current() -> ObservabilityState:
+    override = getattr(_local, "state", None)
+    return override if override is not None else _state
+
 
 def enabled() -> bool:
     """True when a recording registry or tracer is installed.
@@ -128,24 +142,42 @@ def enabled() -> bool:
     Hot paths use this to guard instrumentation that would otherwise
     compute something (an extra pass, a division) even when disabled.
     """
-    return _state.enabled
+    return _current().enabled
 
 
 def get_registry() -> MetricsRegistry:
-    return _state.registry
+    return _current().registry
 
 
 def get_tracer() -> Tracer:
-    return _state.tracer
+    return _current().tracer
 
 
 def get_recorder() -> FlightRecorder:
-    return _state.recorder
+    return _current().recorder
 
 
 def lifecycle() -> LifecycleTracer:
     """The current lifecycle tracer (:data:`NOOP_LIFECYCLE` when off)."""
-    return _state.lifecycle
+    return _current().lifecycle
+
+
+@contextmanager
+def scoped(state: ObservabilityState) -> Iterator[ObservabilityState]:
+    """Route this thread's obs dispatch into *state* for the scope.
+
+    Unlike :func:`instrumented`, which swaps the process-global state,
+    ``scoped`` binds the override to the calling thread only — two
+    threads can each replay a chunk under their own private recorder
+    without interleaving events.  Scopes nest; the previous override
+    (or none) is restored on exit.
+    """
+    previous = getattr(_local, "state", None)
+    _local.state = state
+    try:
+        yield state
+    finally:
+        _local.state = previous
 
 
 def install(
@@ -202,16 +234,16 @@ def instrumented(
 
 def trace_span(name: str, **attrs: object):
     """Open a span on the current tracer (no-op context when disabled)."""
-    return _state.tracer.span(name, **attrs)
+    return _current().tracer.span(name, **attrs)
 
 
 def counter(name: str, **labels: object) -> Counter:
-    return _state.registry.counter(name, **labels)
+    return _current().registry.counter(name, **labels)
 
 
 def gauge(name: str, **labels: object) -> Gauge:
-    return _state.registry.gauge(name, **labels)
+    return _current().registry.gauge(name, **labels)
 
 
 def histogram(name: str, **labels: object) -> Histogram:
-    return _state.registry.histogram(name, **labels)
+    return _current().registry.histogram(name, **labels)

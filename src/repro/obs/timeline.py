@@ -218,6 +218,18 @@ class FlightRecorder:
             ))
         return out
 
+    def dump_rows(self) -> list[EventRow]:
+        """Materialised rows as a picklable snapshot.
+
+        The parallel-replay workers ship their private recorder's rows
+        back to the parent this way; the parent replays them with
+        :meth:`extend`, so a fanned-out chain replay reads identically
+        to a serial one (``events()``, exporters, the regress snapshot
+        all see the same stream).  Rows are plain tuples of primitives,
+        so the snapshot pickles without dragging task objects along.
+        """
+        return list(self._materialised())
+
     def blocks(self) -> list[int | None]:
         """Distinct block heights in first-appearance order."""
         seen: dict[int | None, None] = {}
@@ -254,6 +266,9 @@ class NoopFlightRecorder(FlightRecorder):
         pass
 
     def events(self, **filters: object) -> list[TimelineEvent]:  # type: ignore[override]
+        return []
+
+    def dump_rows(self) -> list[EventRow]:
         return []
 
 

@@ -240,14 +240,21 @@ CONST_INDEXED_ASM = """
 # A heavy loop used to model expensive (high-gas) transactions, e.g. the
 # 2017 DoS-attack traffic that spiked internal transaction counts.
 def busy_loop_asm(iterations: int) -> str:
-    """Assembly for a counter loop running *iterations* times."""
+    """Assembly for a counter loop running *iterations* times.
+
+    The loop exits through the ``pop`` at pc 7, clearing the spent
+    counter off the stack before ``stop``.  (An earlier version jumped
+    straight to ``stop`` at pc 8, leaving the ``pop`` unreachable —
+    flagged by ``repro.cli staticcheck``'s dead-code lint and the
+    counter stranded on the stack.)
+    """
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
     return f"""
         push {iterations}
         dup
         iszero
-        jumpi 8
+        jumpi 7
         push 1
         sub
         jump 1

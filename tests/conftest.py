@@ -7,7 +7,19 @@ once per session, not once per test.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+
 import pytest
+
+# The CI spawn shard exports REPRO_MP_START_METHOD=spawn so the
+# process-backend tests exercise the shared-memory transport instead of
+# fork globals (repro.execution.parallel_replay honours the configured
+# start method).  Force it before any pool exists; tests assert the
+# method actually took via test_differential.test_start_method_honoured.
+_START_METHOD = os.environ.get("REPRO_MP_START_METHOD")
+if _START_METHOD:
+    multiprocessing.set_start_method(_START_METHOD, force=True)
 
 from repro.workload import generate_chain
 from repro.workload.account_workload import build_account_chain

@@ -1,0 +1,262 @@
+"""Unit tests for the replay fan-out building blocks.
+
+The differential suite (test_differential.py) proves whole-run
+equivalence; this module pins the pieces — digest semantics, input
+validation, the per-thread observability scope, recorder row dumps and
+the worker-to-parent metrics merge.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro import obs
+from repro.execution.parallel_replay import (
+    ENGINES,
+    ReplayBlock,
+    coerce_replay_inputs,
+    receipt_digest,
+    replay_block_inputs,
+    replay_chain,
+    replay_profile,
+    state_root,
+    validate_engines,
+)
+from repro.obs import ObservabilityState
+from repro.obs.lifecycle import NOOP_LIFECYCLE
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import FlightRecorder, NoopFlightRecorder
+from repro.obs.tracer import NOOP_TRACER
+from repro.workload.profiles import BITCOIN
+
+
+@pytest.fixture(scope="module")
+def tiny_inputs():
+    return replay_block_inputs(BITCOIN, blocks=3, seed=9, scale=0.1)
+
+
+class TestEngineRegistry:
+    def test_engines_match_executor_choices(self):
+        """The replay registry cannot drift from the regress registry."""
+        from repro.obs.regress import EXECUTOR_CHOICES
+
+        assert ENGINES == EXECUTOR_CHOICES
+
+    def test_validate_preserves_order(self):
+        assert validate_engines(["dag", "occ"]) == ("dag", "occ")
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            validate_engines([])
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            validate_engines(["occ", "blockstm"])
+
+    def test_validate_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="repeat"):
+            validate_engines(["occ", "occ"])
+
+
+class TestValidation:
+    def test_unknown_data_model(self, tiny_inputs):
+        with pytest.raises(ValueError, match="data model"):
+            replay_chain(tiny_inputs, data_model="eutxo")
+
+    def test_bad_cores(self, tiny_inputs):
+        with pytest.raises(ValueError, match="cores"):
+            replay_chain(tiny_inputs, data_model="utxo", cores=0)
+
+    def test_bad_backend(self, tiny_inputs):
+        with pytest.raises(ValueError, match="backend"):
+            replay_chain(tiny_inputs, data_model="utxo", backend="mpi")
+
+    def test_bad_jobs(self, tiny_inputs):
+        with pytest.raises(ValueError, match="jobs"):
+            replay_chain(
+                tiny_inputs, data_model="utxo", backend="thread", jobs=0
+            )
+
+    def test_bad_chunk_size(self, tiny_inputs):
+        with pytest.raises(ValueError, match="chunk"):
+            replay_chain(tiny_inputs, data_model="utxo", chunk_size=0)
+
+    def test_unknown_profile_name(self):
+        with pytest.raises(ValueError, match="unknown chain"):
+            replay_profile("namecoin", blocks=2, seed=0)
+
+    def test_bad_block_count(self):
+        with pytest.raises(ValueError, match="blocks"):
+            replay_profile("bitcoin", blocks=0, seed=0)
+
+    def test_coerce_accepts_triples(self, tiny_inputs):
+        triples = [(b.height, b.tasks, b.payload) for b in tiny_inputs]
+        assert coerce_replay_inputs(triples) == tiny_inputs
+
+
+class TestDigests:
+    def test_state_root_tracks_per_location_order(self):
+        writes = {"a": ("x",), "b": ("x",), "c": ("y",)}
+        base = state_root(("a", "b", "c"), writes)
+        # Swapping two writers of the SAME location changes the root.
+        assert state_root(("b", "a", "c"), writes) != base
+        # Moving a writer of a DIFFERENT location does not.
+        assert state_root(("a", "c", "b"), writes) == base
+        assert state_root(("c", "a", "b"), writes) == base
+
+    def test_state_root_ignores_readonly_tasks(self):
+        writes = {"a": ("x",), "r": ()}
+        assert state_root(("a", "r"), writes) == state_root(("a",), writes)
+
+    def test_receipt_digest_rejects_foreign_payloads(self):
+        with pytest.raises(TypeError):
+            receipt_digest({"gas": 21000})
+
+    def test_utxo_receipt_digest_is_stable(self, tiny_inputs):
+        payload = tiny_inputs[0].payload
+        assert [receipt_digest(item) for item in payload] == [
+            receipt_digest(item) for item in payload
+        ]
+
+    def test_inputs_are_picklable(self, tiny_inputs):
+        clone = pickle.loads(pickle.dumps(tiny_inputs))
+        assert clone == tiny_inputs
+        assert isinstance(clone[0], ReplayBlock)
+
+
+class TestScopedObservability:
+    def test_scoped_binds_and_restores(self):
+        recorder = FlightRecorder()
+        state = ObservabilityState(
+            registry=MetricsRegistry(), tracer=NOOP_TRACER,
+            recorder=recorder, lifecycle=NOOP_LIFECYCLE,
+        )
+        assert not obs.enabled()
+        with obs.scoped(state):
+            assert obs.get_recorder() is recorder
+            obs.counter("scoped.test").inc()
+        assert not obs.enabled()
+        assert state.registry.counter("scoped.test").value == 1
+
+    def test_scoped_nests(self):
+        outer = ObservabilityState(
+            registry=MetricsRegistry(), tracer=NOOP_TRACER,
+            recorder=NoopFlightRecorder(), lifecycle=NOOP_LIFECYCLE,
+        )
+        inner = ObservabilityState(
+            registry=MetricsRegistry(), tracer=NOOP_TRACER,
+            recorder=NoopFlightRecorder(), lifecycle=NOOP_LIFECYCLE,
+        )
+        with obs.scoped(outer):
+            with obs.scoped(inner):
+                obs.counter("depth").inc()
+            obs.counter("depth").inc(10)
+        assert inner.registry.counter("depth").value == 1
+        assert outer.registry.counter("depth").value == 10
+
+    def test_scoped_is_thread_local(self):
+        """Two threads' scopes never see each other's registry."""
+        results: dict[str, float] = {}
+
+        def worker(name: str, barrier: threading.Barrier) -> None:
+            registry = MetricsRegistry()
+            state = ObservabilityState(
+                registry=registry, tracer=NOOP_TRACER,
+                recorder=NoopFlightRecorder(), lifecycle=NOOP_LIFECYCLE,
+            )
+            with obs.scoped(state):
+                barrier.wait()  # both threads inside their scopes
+                obs.counter("thread.local", tid=name).inc()
+                barrier.wait()
+            results[name] = registry.counter(
+                "thread.local", tid=name
+            ).value
+            results[f"{name}.metrics"] = len(registry)
+
+        barrier = threading.Barrier(2)
+        threads = [
+            threading.Thread(target=worker, args=(name, barrier))
+            for name in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results["a"] == 1 and results["b"] == 1
+        # One metric each: no cross-thread bleed-through.
+        assert results["a.metrics"] == 1 and results["b.metrics"] == 1
+
+
+class TestRecorderDump:
+    def test_dump_rows_round_trips_through_extend(self):
+        recorder = FlightRecorder()
+        with recorder.block(7):
+            recorder.record("schedule", "tx1", executor="occ")
+            recorder.record("commit", "tx1", executor="occ", lane=0,
+                            clock=1.0, cost=1.0)
+        rows = recorder.dump_rows()
+        assert pickle.loads(pickle.dumps(rows)) == rows
+        replica = FlightRecorder()
+        replica.extend(rows)
+        assert replica.dump_rows() == rows
+        assert [e.kind for e in replica.events(block=7)] == [
+            "schedule", "commit",
+        ]
+
+    def test_noop_recorder_dump_is_empty(self):
+        assert NoopFlightRecorder().dump_rows() == []
+
+
+class TestParentObservability:
+    def test_worker_obs_merges_into_instrumented_parent(self, tiny_inputs):
+        """Fanned-out replay feeds the parent registry and recorder.
+
+        The per-engine event stream must be identical to a serial
+        replay's, and the worker-side ``exec.*`` counters (recorded in
+        the chunk's private registry) must fold into the parent.
+        """
+        with obs.instrumented() as serial_state:
+            replay_chain(
+                tiny_inputs, data_model="utxo", engines=("occ",),
+                backend="serial",
+            )
+        with obs.instrumented() as fanned_state:
+            replay_chain(
+                tiny_inputs, data_model="utxo", engines=("occ",),
+                backend="thread", jobs=2, chunk_size=1,
+            )
+        serial_rows = [
+            row for row in serial_state.recorder.dump_rows()
+            if row[0] == "occ"
+        ]
+        fanned_rows = [
+            row for row in fanned_state.recorder.dump_rows()
+            if row[0] == "occ"
+        ]
+        assert fanned_rows == serial_rows
+        serial_metrics = serial_state.registry.snapshot()
+        fanned_metrics = fanned_state.registry.snapshot()
+        occ_keys = [
+            key for key in serial_metrics["counters"]
+            if key.startswith("exec.occ.")
+        ]
+        assert occ_keys
+        for key in occ_keys:
+            assert (
+                fanned_metrics["counters"][key]
+                == serial_metrics["counters"][key]
+            )
+        assert fanned_metrics["counters"][
+            "exec.replay.blocks{backend=thread}"
+        ] == len(tiny_inputs)
+
+    def test_uninstrumented_run_records_nothing(self, tiny_inputs):
+        result = replay_chain(
+            tiny_inputs, data_model="utxo", engines=("sequential",),
+            backend="serial",
+        )
+        assert not obs.enabled()
+        assert result.summary("sequential").committed > 0

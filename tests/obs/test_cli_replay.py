@@ -1,0 +1,129 @@
+"""CLI contract for the replay fan-out wiring.
+
+Covers ``repro.cli replay`` (table, divergence exit code, Chrome
+trace), ``speedup --measured``, ``compare --measured`` and the
+``lifecycle`` parallel-replay verification pass.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestReplayCommand:
+    def test_prints_per_engine_table_and_agrees(self, capsys):
+        code = main([
+            "replay", "--chain", "bitcoin", "--blocks", "3",
+            "--scale", "0.1", "--backend", "thread", "--jobs", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        for engine in ("sequential", "speculative", "occ", "grouped",
+                       "dag"):
+            assert engine in out
+        assert "state roots agree across 7 engine(s)" in out
+
+    def test_engine_subset(self, capsys):
+        code = main([
+            "replay", "--chain", "bitcoin", "--blocks", "2",
+            "--scale", "0.1", "--engines", "occ,dag",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "state roots agree across 2 engine(s)" in out
+        assert "speculative-informed" not in out
+
+    def test_unknown_engine_exits_2(self, capsys):
+        code = main([
+            "replay", "--chain", "bitcoin", "--blocks", "2",
+            "--engines", "blockstm",
+        ])
+        assert code == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_unknown_chain_exits_2(self, capsys):
+        code = main(["replay", "--chain", "solana", "--blocks", "2"])
+        assert code == 2
+        assert "unknown chain" in capsys.readouterr().err
+
+    def test_bad_jobs_exits_2(self, capsys):
+        code = main([
+            "replay", "--chain", "bitcoin", "--blocks", "2",
+            "--backend", "thread", "--jobs", "0",
+        ])
+        assert code == 2
+
+    def test_writes_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "replay.json"
+        code = main([
+            "replay", "--chain", "bitcoin", "--blocks", "3",
+            "--scale", "0.1", "--backend", "process", "--jobs", "2",
+            "--out", str(out),
+        ])
+        assert code == 0
+        document = json.loads(out.read_text())
+        events = document["traceEvents"]
+        assert events
+        # The merged stream carries both engine slices and the
+        # chunk-level fan-out lane.
+        names = {e["name"] for e in events if e["ph"] == "M"}
+        assert "process_name" in names
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestSpeedupMeasured:
+    def test_measured_table_renders(self, capsys):
+        code = main([
+            "speedup", "--chain", "bitcoin", "--blocks", "4",
+            "--scale", "0.1", "--cores", "2,4", "--measured",
+            "--backend", "thread", "--jobs", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "measured replay speed-ups" in out
+        assert "state roots identical" in out
+        assert "2 cores" in out and "4 cores" in out
+
+
+class TestCompareMeasured:
+    def test_measured_columns_render(self, capsys):
+        code = main([
+            "compare", "--left", "bitcoin", "--right", "bitcoin_cash",
+            "--blocks", "4", "--scale", "0.1", "--measured",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spec R" in out and "group R" in out
+
+    def test_without_flag_layout_unchanged(self, capsys):
+        code = main([
+            "compare", "--left", "bitcoin", "--right", "bitcoin_cash",
+            "--blocks", "4", "--scale", "0.1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spec R" not in out
+
+
+class TestLifecycleVerification:
+    def test_parallel_backend_verifies_against_serial(self, capsys):
+        code = main([
+            "lifecycle", "--chain", "bitcoin", "--blocks", "2",
+            "--scale", "0.2", "--executor", "occ",
+            "--backend", "thread", "--jobs", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "parallel replay verification (thread backend" in out
+        assert "matches the serial replay" in out
+
+    def test_serial_backend_skips_verification(self, capsys):
+        code = main([
+            "lifecycle", "--chain", "bitcoin", "--blocks", "2",
+            "--scale", "0.2", "--executor", "occ",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "parallel replay verification" not in out

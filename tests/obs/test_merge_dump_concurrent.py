@@ -1,0 +1,154 @@
+"""Concurrency tests for :meth:`MetricsRegistry.merge_dump`.
+
+The replay fan-out merges worker dumps strictly in submission order,
+but nothing in the API forbids concurrent merges — e.g. two replays
+sharing one installed registry, or a future completion-order collector.
+These tests hammer the registry with parallel merges whose dumps
+overlap on every key (same counter names, same histogram label sets)
+and assert nothing is lost or double counted.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter as TallyCounter
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, render_metric_key
+
+WORKERS = 6
+BLOCKS_PER_WORKER = 25
+
+
+def _worker_dump(worker: int) -> list[dict[str, object]]:
+    """A realistic worker registry: replay-shaped overlapping keys."""
+    registry = MetricsRegistry()
+    registry.counter("exec.occ.aborts").inc(10 + worker)
+    registry.counter("exec.replay.blocks", backend="process").inc(
+        BLOCKS_PER_WORKER
+    )
+    registry.gauge("exec.replay.jobs", backend="process").set(WORKERS)
+    seconds = registry.histogram("exec.replay.chunk_seconds",
+                                 backend="process")
+    depth = registry.histogram("exec.occ.queue_depth")
+    for i in range(BLOCKS_PER_WORKER):
+        seconds.observe(worker + i / 100.0)
+        depth.observe(float(i % 7))
+    return registry.dump()
+
+
+@pytest.fixture(scope="module")
+def dumps():
+    return [_worker_dump(worker) for worker in range(WORKERS)]
+
+
+def _merge_concurrently(parent: MetricsRegistry, dumps, repeats=1):
+    barrier = threading.Barrier(len(dumps) * repeats)
+    errors: list[BaseException] = []
+
+    def merge(dump) -> None:
+        try:
+            barrier.wait()
+            parent.merge_dump(dump)
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=merge, args=(dump,))
+        for dump in dumps for _ in range(repeats)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+
+
+def test_concurrent_merges_lose_nothing(dumps):
+    parent = MetricsRegistry()
+    _merge_concurrently(parent, dumps)
+    snapshot = parent.snapshot()
+    assert snapshot["counters"]["exec.occ.aborts"] == sum(
+        10 + worker for worker in range(WORKERS)
+    )
+    assert snapshot["counters"][
+        "exec.replay.blocks{backend=process}"
+    ] == WORKERS * BLOCKS_PER_WORKER
+    seconds = snapshot["histograms"][
+        "exec.replay.chunk_seconds{backend=process}"
+    ]
+    assert seconds["count"] == WORKERS * BLOCKS_PER_WORKER
+    depth = snapshot["histograms"]["exec.occ.queue_depth"]
+    assert depth["count"] == WORKERS * BLOCKS_PER_WORKER
+
+
+def test_concurrent_merges_preserve_observation_multiset(dumps):
+    """Every individual histogram observation survives, exactly once."""
+    parent = MetricsRegistry()
+    _merge_concurrently(parent, dumps)
+    expected: TallyCounter = TallyCounter()
+    for dump in dumps:
+        for record in dump:
+            if record["kind"] == "histogram":
+                key = render_metric_key(
+                    str(record["name"]),
+                    tuple(record["labels"]),  # type: ignore[arg-type]
+                )
+                expected.update(
+                    (key, value) for value in record["values"]
+                )
+    merged: TallyCounter = TallyCounter()
+    for metric in parent.iter_metrics():
+        values = getattr(metric, "_values", None)
+        if values is None:
+            continue
+        key = render_metric_key(metric.name, metric.labels)
+        merged.update((key, value) for value in values)
+    assert merged == expected
+
+
+def test_repeated_concurrent_merges_scale_linearly(dumps):
+    """Merging each dump 3x concurrently triples counts — no races."""
+    parent = MetricsRegistry()
+    _merge_concurrently(parent, dumps, repeats=3)
+    snapshot = parent.snapshot()
+    assert snapshot["counters"][
+        "exec.replay.blocks{backend=process}"
+    ] == 3 * WORKERS * BLOCKS_PER_WORKER
+    seconds = snapshot["histograms"][
+        "exec.replay.chunk_seconds{backend=process}"
+    ]
+    assert seconds["count"] == 3 * WORKERS * BLOCKS_PER_WORKER
+    # Gauges are last-write-wins; every dump wrote the same value.
+    assert snapshot["gauges"][
+        "exec.replay.jobs{backend=process}"
+    ] == WORKERS
+
+
+def test_merge_while_parent_observes(dumps):
+    """Merges racing the parent's own observations stay consistent."""
+    parent = MetricsRegistry()
+    stop = threading.Event()
+    observed = 0
+
+    def observe_loop() -> None:
+        nonlocal observed
+        histogram = parent.histogram(
+            "exec.replay.chunk_seconds", backend="process"
+        )
+        while not stop.is_set():
+            histogram.observe(99.0)
+            observed += 1
+
+    observer = threading.Thread(target=observe_loop)
+    observer.start()
+    try:
+        _merge_concurrently(parent, dumps)
+    finally:
+        stop.set()
+        observer.join()
+    seconds = parent.snapshot()["histograms"][
+        "exec.replay.chunk_seconds{backend=process}"
+    ]
+    assert seconds["count"] == WORKERS * BLOCKS_PER_WORKER + observed
