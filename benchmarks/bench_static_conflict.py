@@ -39,6 +39,7 @@ from repro.execution.speculative import (
     InformedSpeculativeExecutor,
     SpeculativeExecutor,
 )
+from repro.execution.static_grouped import StaticGroupedExecutor
 from repro.execution.static_informed import StaticInformedExecutor
 from repro.staticcheck import (
     ContractAnalyzer,
@@ -103,25 +104,36 @@ def test_static_conflict_prediction():
     seconds_per_task = exec_state["seconds"] / max(1, exec_state["count"])
 
     # One interprocedural closure serves the whole chain; its cost is
-    # amortized across blocks when charging K to the executors.
+    # amortized across blocks when charging K to the executors.  A
+    # second analyzer runs the PR 3 two-point Const/⊤ lattice over the
+    # same registry for the before/after precision comparison.
     analyzer = ContractAnalyzer(builder.registry, code_bindings(builder.state))
     closure_started = time.perf_counter()
     analyzer.analyze_all()
     closure_seconds = time.perf_counter() - closure_started
+    analyzer_const = ContractAnalyzer(
+        builder.registry, code_bindings(builder.state), lattice="const"
+    )
+    analyzer_const.analyze_all()
 
-    tp = fp = fn = 0
+    LATTICES = ("const", "valueset")
+    tp = {lat: 0 for lat in LATTICES}
+    fp = {lat: 0 for lat in LATTICES}
+    fn = {lat: 0 for lat in LATTICES}
+    widened = {lat: 0 for lat in LATTICES}
     uncovered = 0
     total_tasks = 0
-    widened = 0
     c_deltas: list[float] = []
     l_deltas: list[float] = []
+    group_sizes: list[int] = []
     predict_seconds = 0.0
     per_block: list[dict] = []
     wall = {key: 0.0 for key in (
         "speculative", "informed-oracle", "static-informed",
-        "occ-runtime", "occ-predicted",
+        "static-grouped", "occ-runtime", "occ-predicted",
     )}
     aborts = {key: 0 for key in wall}
+    total_cost = 0.0
 
     with obs.instrumented() as state:
         for block, executed in builder.executed_blocks:
@@ -131,34 +143,51 @@ def test_static_conflict_prediction():
             started = time.perf_counter()
             predictions = predict_block(block.transactions, analyzer)
             predict_seconds += time.perf_counter() - started
+            by_lattice = {
+                "valueset": predictions,
+                "const": predict_block(
+                    block.transactions, analyzer_const
+                ),
+            }
             by_hash = {task.tx_hash: task for task in tasks}
             assert sorted(by_hash) == sorted(
                 p.tx_hash for p in predictions
             ), "predictions and runtime tasks must cover the same txs"
 
-            # Soundness gate 1: every runtime access set is covered.
+            # Soundness gate 1: every runtime access set is covered —
+            # under both lattices (coverage failures count once).
             for prediction in predictions:
                 total_tasks += 1
-                widened += prediction.is_widened
                 if not prediction.covers_task(by_hash[prediction.tx_hash]):
                     uncovered += 1
+            for lat in LATTICES:
+                for prediction in by_lattice[lat]:
+                    widened[lat] += prediction.is_widened
+                    if not prediction.covers_task(
+                        by_hash[prediction.tx_hash]
+                    ):
+                        uncovered += lat == "const"
 
-            # Pairwise conflict confusion counts.
+            # Pairwise conflict confusion counts, per lattice.
             block_fn = 0
-            for i, a in enumerate(predictions):
-                for b in predictions[i + 1:]:
-                    pred = predicted_conflicts(a, b)
-                    real = by_hash[a.tx_hash].conflicts_with(
-                        by_hash[b.tx_hash]
-                    )
-                    tp += pred and real
-                    fp += pred and not real
-                    block_fn += real and not pred
-            fn += block_fn
+            for lat in LATTICES:
+                lat_predictions = by_lattice[lat]
+                for i, a in enumerate(lat_predictions):
+                    for b in lat_predictions[i + 1:]:
+                        pred = predicted_conflicts(a, b)
+                        real = by_hash[a.tx_hash].conflicts_with(
+                            by_hash[b.tx_hash]
+                        )
+                        tp[lat] += pred and real
+                        fp[lat] += pred and not real
+                        fn[lat] += real and not pred
+                        if lat == "valueset":
+                            block_fn += real and not pred
 
             # Predicted vs runtime task-level TDG: c and l deltas.
             runtime = _runtime_tdg(tasks)
             predicted = predicted_tdg(predictions)
+            group_sizes.extend(len(group) for group in predicted.groups)
             n = runtime.num_transactions
             c_runtime = runtime.num_conflicted / n
             c_predicted = predicted.num_conflicted / n
@@ -185,11 +214,17 @@ def test_static_conflict_prediction():
                     predictions=prediction_map,
                     preprocessing_cost=k_units,
                 ).run(tasks),
+                "static-grouped": StaticGroupedExecutor(
+                    CORES,
+                    predictions=prediction_map,
+                    scheduling_cost=k_units,
+                ).run(tasks),
                 "occ-runtime": OCCExecutor(CORES).run(tasks),
                 "occ-predicted": OCCExecutor(CORES).run(
                     expanded_tasks(predictions)
                 ),
             }
+            total_cost += sum(task.cost for task in tasks)
             for key, report in reports.items():
                 wall[key] += report.wall_time
                 aborts[key] += (
@@ -207,17 +242,33 @@ def test_static_conflict_prediction():
             })
         snapshot = state.registry.snapshot()
 
-    # Hard gates: soundness (recall exactly 1.0, full coverage) and a
-    # precision floor (the analyzer must stay useful, not just sound).
+    # Hard gates: soundness (recall exactly 1.0, full coverage) under
+    # BOTH lattices, and the value-set lattice must not lose precision
+    # against the two-point baseline it replaces.
     assert uncovered == 0, f"{uncovered} runtime task sets not covered"
-    assert fn == 0, f"{fn} runtime conflicts unpredicted (recall < 1)"
-    precision = tp / (tp + fp) if tp + fp else 1.0
-    recall = tp / (tp + fn) if tp + fn else 1.0
-    assert precision >= 0.5, f"pairwise precision degenerate: {precision}"
+    precision = {}
+    recall = {}
+    for lat in LATTICES:
+        assert fn[lat] == 0, (
+            f"{fn[lat]} runtime conflicts unpredicted under {lat}"
+        )
+        precision[lat] = (
+            tp[lat] / (tp[lat] + fp[lat]) if tp[lat] + fp[lat] else 1.0
+        )
+        recall[lat] = (
+            tp[lat] / (tp[lat] + fn[lat]) if tp[lat] + fn[lat] else 1.0
+        )
+    assert precision["valueset"] >= precision["const"], (
+        "value-set lattice lost precision vs the const baseline"
+    )
+    assert precision["valueset"] >= 0.5, (
+        f"pairwise precision degenerate: {precision['valueset']}"
+    )
 
-    # The predicted bin over-approximates, so the static-informed
-    # parallel phase must be abort-free.
+    # The predicted sets over-approximate, so the static-informed
+    # parallel phase and the static-grouped safety net are abort-free.
     assert aborts["static-informed"] == 0
+    assert aborts["static-grouped"] == 0
 
     spec_rate = aborts["speculative"] / max(1, total_tasks)
     static_rate = aborts["static-informed"] / max(1, total_tasks)
@@ -234,13 +285,34 @@ def test_static_conflict_prediction():
         "cores": CORES,
         "num_dynamic_contracts": NUM_DYNAMIC,
         "platform": platform.platform(),
-        "widened_predictions": widened,
+        "widened_predictions": widened["valueset"],
         "pairwise": {
-            "true_positives": tp,
-            "false_positives": fp,
-            "false_negatives": fn,
-            "precision": round(precision, 4),
-            "recall": round(recall, 4),
+            "true_positives": tp["valueset"],
+            "false_positives": fp["valueset"],
+            "false_negatives": fn["valueset"],
+            "precision": round(precision["valueset"], 4),
+            "recall": round(recall["valueset"], 4),
+        },
+        "lattice_comparison": {
+            lat: {
+                "precision": round(precision[lat], 4),
+                "recall": round(recall[lat], 4),
+                "false_positives": fp[lat],
+                "widened_predictions": widened[lat],
+            }
+            for lat in LATTICES
+        },
+        "predicted_groups": {
+            "count": len(group_sizes),
+            "mean_size": round(
+                sum(group_sizes) / max(1, len(group_sizes)), 4
+            ),
+            "max_size": max(group_sizes, default=0),
+            "singleton_fraction": round(
+                sum(1 for s in group_sizes if s == 1)
+                / max(1, len(group_sizes)),
+                4,
+            ),
         },
         "tdg_deltas": {
             "mean_c_delta": round(sum(c_deltas) / len(c_deltas), 4),
@@ -265,6 +337,9 @@ def test_static_conflict_prediction():
                 "abort_rate": round(
                     aborts[key] / max(1, total_tasks), 4
                 ),
+                "measured_speedup": round(
+                    total_cost / wall[key], 4
+                ) if wall[key] else None,
             }
             for key in wall
         },
@@ -277,7 +352,10 @@ def test_static_conflict_prediction():
         "obs_counters": {
             key: value
             for key, value in snapshot["counters"].items()
-            if key.startswith(("staticcheck.", "exec.static-informed"))
+            if key.startswith((
+                "staticcheck.", "exec.static-informed",
+                "exec.static_grouped",
+            ))
         },
         "per_block": per_block,
     }
@@ -287,9 +365,15 @@ def test_static_conflict_prediction():
         "static conflict prediction vs runtime traces "
         f"({len(per_block)} blocks, {total_tasks} txs, "
         f"{NUM_DYNAMIC} dynamic contracts)",
-        f"  pairwise precision   : {precision:8.4f}",
-        f"  pairwise recall      : {recall:8.4f}  (soundness gate: 1.0)",
-        f"  widened predictions  : {widened} / {total_tasks}",
+        f"  precision (valueset) : {precision['valueset']:8.4f}",
+        f"  precision (const)    : {precision['const']:8.4f}",
+        f"  pairwise recall      : {recall['valueset']:8.4f}  "
+        "(soundness gate: 1.0, both lattices)",
+        f"  widened predictions  : {widened['valueset']} / {total_tasks}"
+        f"  (const: {widened['const']})",
+        "  predicted group size : "
+        f"mean {result['predicted_groups']['mean_size']} "
+        f"max {result['predicted_groups']['max_size']}",
         f"  mean c delta         : {result['tdg_deltas']['mean_c_delta']:+.4f}",
         f"  mean l delta         : {result['tdg_deltas']['mean_l_delta']:+.4f}",
         f"  analysis cost K      : "

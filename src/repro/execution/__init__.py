@@ -34,6 +34,7 @@ from repro.execution.speculative import (
     SpeculativeExecutor,
     split_conflicted,
 )
+from repro.execution.static_grouped import StaticGroupedExecutor
 from repro.execution.static_informed import StaticInformedExecutor
 
 __all__ = [
@@ -63,6 +64,7 @@ __all__ = [
     "SimulatedRun",
     "InformedSpeculativeExecutor",
     "SpeculativeExecutor",
+    "StaticGroupedExecutor",
     "StaticInformedExecutor",
     "split_conflicted",
 ]

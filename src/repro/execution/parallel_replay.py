@@ -81,6 +81,7 @@ ENGINES = (
     "occ",
     "grouped",
     "static-informed",
+    "static-grouped",
     "dag",
 )
 
@@ -99,23 +100,44 @@ class ReplayBlock:
 
     ``tasks`` are the executor-ready :class:`TxTask` objects, ``payload``
     the raw transaction sequence the DAG engine and the receipt digest
-    consume.  Nothing references shared ledger state, so a worker can
-    replay the block in isolation.
+    consume, and ``predictions`` the block's statically predicted
+    access sets (frozen
+    :class:`~repro.staticcheck.predict.PredictedAccess` records) that
+    feed the ``static-grouped`` engine — empty predictions degrade it
+    soundly to sequential block order.  Nothing references shared
+    ledger state, so a worker can replay the block in isolation.
     """
 
     height: int
     tasks: tuple[TxTask, ...]
     payload: tuple
+    predictions: tuple = ()
 
 
 def replay_block_inputs(
-    profile, *, blocks: int, seed: int, scale: float = 1.0
+    profile, *, blocks: int, seed: int, scale: float = 1.0,
+    predict: bool = True,
 ) -> list[ReplayBlock]:
-    """Snapshot a seeded chain's blocks as replay inputs."""
-    from repro.obs.regress import chain_task_blocks
+    """Snapshot a seeded chain's blocks as replay inputs.
 
+    With *predict* (the default) each block also carries its static
+    access predictions; pass ``False`` to skip the analysis pass when
+    no requested engine consumes predictions.
+    """
+    from repro.obs.regress import chain_prediction_blocks, chain_task_blocks
+
+    predicted: dict[int, tuple] = {}
+    if predict:
+        predicted = dict(chain_prediction_blocks(
+            profile, blocks=blocks, seed=seed, scale=scale
+        ))
     return [
-        ReplayBlock(height=height, tasks=tuple(tasks), payload=tuple(payload))
+        ReplayBlock(
+            height=height,
+            tasks=tuple(tasks),
+            payload=tuple(payload),
+            predictions=predicted.get(height, ()),
+        )
         for height, tasks, payload in chain_task_blocks(
             profile, blocks=blocks, seed=seed, scale=scale
         )
@@ -415,6 +437,14 @@ def _replay_block(
                     reports[engine] = _run_dag_block(
                         data_model, block.payload, cores
                     )
+                elif engine == "static-grouped":
+                    lookup = {
+                        prediction.tx_hash: prediction
+                        for prediction in block.predictions
+                    }
+                    reports[engine] = make_executor(
+                        engine, cores, predictions=lookup
+                    ).run(block.tasks)
                 else:
                     reports[engine] = make_executor(engine, cores).run(
                         block.tasks

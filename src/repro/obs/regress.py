@@ -55,6 +55,7 @@ DEFAULT_EXECUTORS = (
     "occ",
     "grouped",
     "static-informed",
+    "static-grouped",
     "dag",
 )
 
@@ -116,12 +117,71 @@ def chain_task_blocks(
             )
 
 
-def make_executor(name: str, cores: int):
+def chain_prediction_blocks(
+    profile, *, blocks: int, seed: int, scale: float = 1.0
+) -> list[tuple[int, tuple]]:
+    """Per-block static access predictions for a seeded chain.
+
+    Returns ``(height, predictions)`` pairs aligned with
+    :func:`chain_task_blocks` — the chain construction is deterministic
+    under a fixed seed, so rebuilding it here yields the exact blocks
+    the task snapshot walked.  The rebuild runs under a silenced
+    observability scope (an instrumented caller must not double-count
+    the ``consensus.*`` chain-construction metrics); the static
+    analysis itself runs in the ambient scope, so ``staticcheck.*``
+    counters land where the caller records.
+
+    Account chains analyze the final code registry/bindings (contracts
+    only ever *gain* code mid-chain, so the final closure is a sound
+    over-approximation for every height); UTXO predictions are exact by
+    construction.
+    """
+    from repro.obs import ObservabilityState
+    from repro.obs.metrics import NOOP_REGISTRY
+    from repro.obs.tracer import NOOP_TRACER
+    from repro.staticcheck.interproc import ContractAnalyzer, code_bindings
+    from repro.staticcheck.predict import predict_block, predict_utxo_block
+    from repro.workload.account_workload import build_account_chain
+    from repro.workload.utxo_workload import build_utxo_chain
+
+    silent = ObservabilityState(registry=NOOP_REGISTRY, tracer=NOOP_TRACER)
+    if profile.data_model == "utxo":
+        with obs.scoped(silent):
+            ledger = build_utxo_chain(
+                profile, num_blocks=blocks, seed=seed, scale=scale
+            )
+        return [
+            (block.height, tuple(predict_utxo_block(block.transactions)))
+            for block in ledger
+        ]
+    with obs.scoped(silent):
+        builder = build_account_chain(
+            profile, num_blocks=blocks, seed=seed, scale=scale
+        )
+    analyzer = ContractAnalyzer(
+        builder.registry, code_bindings(builder.state)
+    )
+    return [
+        (
+            block.height,
+            tuple(
+                predict_block([item.tx for item in executed], analyzer)
+            ),
+        )
+        for block, executed in builder.executed_blocks
+    ]
+
+
+def make_executor(name: str, cores: int, predictions=None):
     """Instantiate one of the task executors by registry name.
 
     ``dag`` is not constructible here — it consumes the raw payload via
     :func:`run_block_dag`, not a task list.  Unknown names raise
-    :class:`ValueError` listing the choices.
+    :class:`ValueError` listing the choices.  *predictions* (``tx_hash``
+    → :class:`~repro.staticcheck.predict.PredictedAccess`) feeds the
+    ``static-grouped`` executor; other executors ignore it, and with no
+    predictions that executor degrades soundly to sequential block
+    order.
     """
     from repro.execution import (
         GroupedExecutor,
@@ -129,6 +189,7 @@ def make_executor(name: str, cores: int):
         OCCExecutor,
         SequentialExecutor,
         SpeculativeExecutor,
+        StaticGroupedExecutor,
         StaticInformedExecutor,
     )
 
@@ -139,6 +200,9 @@ def make_executor(name: str, cores: int):
         "occ": lambda: OCCExecutor(cores),
         "grouped": lambda: GroupedExecutor(cores),
         "static-informed": lambda: StaticInformedExecutor(cores),
+        "static-grouped": lambda: StaticGroupedExecutor(
+            cores, predictions=dict(predictions or {})
+        ),
     }
     try:
         return factories[name]()
@@ -167,6 +231,7 @@ EXECUTOR_CHOICES = (
     "occ",
     "grouped",
     "static-informed",
+    "static-grouped",
     "dag",
 )
 
@@ -236,6 +301,19 @@ def build_snapshot(
     bound_checks: dict[str, dict[str, float]] = {}
     with obs.instrumented() as state:
         recorder = state.recorder
+        if any(name == "static-grouped" for name, _ in task_executors):
+            # Static predictions feed the static-grouped executor; the
+            # analysis pass runs inside the instrumented scope so the
+            # staticcheck.* counters gate deterministically too.
+            predictions: dict[str, object] = {}
+            for _height, block_predictions in chain_prediction_blocks(
+                profile, blocks=blocks, seed=seed
+            ):
+                for prediction in block_predictions:
+                    predictions[prediction.tx_hash] = prediction
+            for name, executor in task_executors:
+                if name == "static-grouped":
+                    executor.predictions = predictions
         for height, tasks, payload in chain_task_blocks(
             profile, blocks=blocks, seed=seed
         ):
@@ -544,6 +622,7 @@ __all__ = [
     "RegressionReport",
     "Tolerance",
     "build_snapshot",
+    "chain_prediction_blocks",
     "chain_task_blocks",
     "compare_snapshots",
     "deterministic_metrics",

@@ -29,6 +29,11 @@ for the design and the paper's ``K``-cost interpretation.
 
 from repro.staticcheck.absint import CallSite, ProgramSummary, analyze_program
 from repro.staticcheck.cfg import CFG, BasicBlock, build_cfg
+from repro.staticcheck.incremental import (
+    CacheStats,
+    IncrementalAnalyzer,
+    program_digest,
+)
 from repro.staticcheck.diagnostics import (
     JUMP_RANGE,
     SEVERITY_ERROR,
@@ -42,6 +47,8 @@ from repro.staticcheck.interproc import (
     ClosedAccess,
     ContractAnalyzer,
     code_bindings,
+    known_call_targets,
+    local_access,
 )
 from repro.staticcheck.lattice import TOP, Const, MaySet, Top
 from repro.staticcheck.lint import (
@@ -51,24 +58,44 @@ from repro.staticcheck.lint import (
     render_lint_report,
 )
 from repro.staticcheck.predict import (
+    AccessAnalyzer,
     PredictedAccess,
     expanded_tasks,
     predict_block,
     predict_transaction,
+    predict_utxo_block,
     predicted_conflicts,
     predicted_tdg,
 )
+from repro.staticcheck.valueset import (
+    CONST_LATTICE,
+    DEFAULT_LATTICE,
+    LATTICES,
+    VALUESET_LATTICE,
+    StridedInterval,
+    ValueLattice,
+    ValueSet,
+    elements_of,
+    from_values,
+    get_lattice,
+)
 
 __all__ = [
+    "AccessAnalyzer",
     "CFG",
+    "CONST_LATTICE",
     "BasicBlock",
+    "CacheStats",
     "CallSite",
     "ClosedAccess",
     "Const",
     "ContractAnalyzer",
     "ContractReport",
+    "DEFAULT_LATTICE",
     "Diagnostic",
+    "IncrementalAnalyzer",
     "JUMP_RANGE",
+    "LATTICES",
     "LintReport",
     "MaySet",
     "PredictedAccess",
@@ -76,17 +103,27 @@ __all__ = [
     "SEVERITY_ERROR",
     "SEVERITY_WARNING",
     "STACK_UNDERFLOW",
+    "StridedInterval",
     "TOP",
     "TOP_WIDENED",
     "Top",
     "UNREACHABLE",
+    "VALUESET_LATTICE",
+    "ValueLattice",
+    "ValueSet",
     "analyze_program",
     "build_cfg",
     "code_bindings",
+    "elements_of",
     "expanded_tasks",
+    "from_values",
+    "get_lattice",
+    "known_call_targets",
     "lint_registry",
+    "local_access",
     "predict_block",
     "predict_transaction",
+    "predict_utxo_block",
     "predicted_conflicts",
     "predicted_tdg",
     "render_lint_report",

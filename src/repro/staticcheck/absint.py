@@ -1,24 +1,35 @@
-"""Constant-propagating abstract interpretation of one program.
+"""Value-propagating abstract interpretation of one program.
 
 The interpreter runs a classic worklist fixpoint over the CFG with an
-abstract stack per basic-block entry (:data:`~repro.staticcheck.
-lattice.StackState`), then replays each reachable block once against
-its converged entry state to collect the program's access summary and
-diagnostics.
+abstract stack per basic-block entry, then replays each reachable block
+once against its converged entry state to collect the program's access
+summary and diagnostics.
+
+Stack slots live in the bounded value-set lattice of
+:mod:`repro.staticcheck.valueset` — ``Const ⊑ ValueSet ⊑
+StridedInterval ⊑ ⊤`` — selected by the ``lattice`` argument
+(``"valueset"`` by default; ``"const"`` reproduces the original
+two-point Const/⊤ domain for A/B comparisons).
 
 Widening rules (each has a dedicated unit test):
 
-* joining two different constants → ⊤;
+* joining distinct constants builds a :class:`ValueSet` of up to 8
+  members, widens to a stride/interval superset while the member count
+  stays ≤ 64, then goes to ⊤ (under ``--lattice const`` any join of
+  distinct values goes straight to ⊤);
 * joining stacks of different heights → unknown stack (every later pop
   yields ⊤ and underflow can no longer be proven);
-* a dynamic (``$``) storage key / balance address that is not a
-  constant at the access site → the corresponding key set widens to ⊤;
-* a dynamic call target that is not a constant → the call-target set
+* a dynamic (``$``) storage key / balance address that does not
+  enumerate to finitely many keys at the access site → the
+  corresponding key set widens to ⊤;
+* a dynamic call target that does not enumerate → the call-target set
   widens to ⊤ (interprocedurally: "any contract may run");
-* arithmetic on anything but two constant ints → ⊤ result;
-* a ``JUMPI`` on a non-constant condition → both successors feasible
-  (a constant condition prunes the dead branch, which is what makes
-  constant-false guards produce *unreachable code* findings).
+* arithmetic folds the cartesian product of finite int operand sets
+  (≤ 64 pairs), otherwise ⊤;
+* a ``JUMPI`` on a condition whose members are not uniformly zero or
+  uniformly nonzero → both successors feasible (a decided condition
+  prunes the dead branch, which is what makes constant-false guards
+  produce *unreachable code* findings).
 
 Soundness: every concrete execution path is covered by some abstract
 path, so the dynamic access set of any run is a subset of the summary.
@@ -38,28 +49,46 @@ from repro.staticcheck.diagnostics import (
     UNREACHABLE,
     Diagnostic,
 )
-from repro.staticcheck.lattice import (
-    TOP,
-    AbstractValue,
-    Const,
-    MaySet,
-    StackState,
-    join_stack,
+from repro.staticcheck.lattice import TOP, Const, MaySet
+from repro.staticcheck.valueset import (
+    DEFAULT_LATTICE,
+    Value,
+    ValueLattice,
+    ValueStack,
+    get_lattice,
 )
 from repro.vm.contract import Program
 from repro.vm.opcodes import STACK_OPERAND, Instruction, Op
 
-_MAX_FIXPOINT_PASSES = 10_000
+# Per-slot join chains are ~75 steps deep under the value-set lattice
+# (8 exact members, then ≤64 interval members, then ⊤), so a fuzzed
+# 25-instruction loop nest can legitimately take tens of thousands of
+# worklist pops to converge.  The guard only exists to turn a genuine
+# non-termination bug into a loud error instead of a hang.
+_MAX_FIXPOINT_PASSES = 200_000
 
 
 @dataclass(frozen=True)
 class CallSite:
-    """One ``CALL``/``TRANSFER`` site; ``target=None`` means ⊤."""
+    """One ``CALL``/``TRANSFER`` site; ``targets=None`` means ⊤.
+
+    ``target`` keeps the single-target view (None unless the site
+    resolves to exactly one address); ``targets`` carries the full
+    value-set resolution — a tuple of candidate addresses, or None when
+    the target widened to ⊤.  Constructing a site with only ``target``
+    derives ``targets`` automatically, so PR 3-era call sites behave
+    unchanged.
+    """
 
     pc: int
     kind: str  # "call" | "transfer"
     target: str | None
     value: int
+    targets: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.targets is None and self.target is not None:
+            object.__setattr__(self, "targets", (self.target,))
 
     @property
     def is_call(self) -> bool:
@@ -76,15 +105,19 @@ class ProgramSummary:
     balance_reads: MaySet
     calls: tuple[CallSite, ...]
     diagnostics: tuple[Diagnostic, ...]
+    #: pcs of dynamic (``$``) operands that widened to ⊤ / resolved to
+    #: finitely many keys.  Disjoint; static operands count as neither.
+    widened_sites: frozenset[int] = frozenset()
+    resolved_sites: frozenset[int] = frozenset()
 
     @property
     def has_unknown_call_target(self) -> bool:
-        return any(site.target is None for site in self.calls)
+        return any(site.targets is None for site in self.calls)
 
     @property
     def has_unknown_transfer_target(self) -> bool:
         return any(
-            site.target is None and not site.is_call for site in self.calls
+            site.targets is None and not site.is_call for site in self.calls
         )
 
     @property
@@ -118,6 +151,8 @@ class _Effects:
         default_factory=dict
     )
     executed_pcs: set[int] = field(default_factory=set)
+    widened_sites: set[int] = field(default_factory=set)
+    resolved_sites: set[int] = field(default_factory=set)
 
     def diagnose(
         self, pc: int, severity: str, code: str, message: str
@@ -155,20 +190,20 @@ def _fold(op: Op, lhs: int, rhs: int) -> int:
 class _AbstractFrame:
     """Mutable abstract stack with underflow tracking for one path."""
 
-    def __init__(self, state: StackState, effects: _Effects | None):
-        self.known: list[AbstractValue] | None = (
+    def __init__(self, state: ValueStack, effects: _Effects | None):
+        self.known: list[Value] | None = (
             None if state is None else list(state)
         )
         self.effects = effects
 
-    def snapshot(self) -> StackState:
+    def snapshot(self) -> ValueStack:
         return None if self.known is None else tuple(self.known)
 
-    def push(self, value: AbstractValue) -> None:
+    def push(self, value: Value) -> None:
         if self.known is not None:
             self.known.append(value)
 
-    def pop(self, pc: int, needed: int = 1) -> list[AbstractValue]:
+    def pop(self, pc: int, needed: int = 1) -> list[Value]:
         """Pop *needed* slots; ⊤ for each slot of an unknown stack.
 
         Raises :class:`_Halt` on a *provable* underflow: the stack
@@ -196,19 +231,32 @@ class _AbstractFrame:
         return self.known is None or len(self.known) >= needed
 
 
-def _resolve_key(
+def _resolve_keys(
     operand: object,
     frame: _AbstractFrame,
     pc: int,
     what: str,
-) -> str | None:
-    """A static or ``$`` operand as a concrete key, or None for ⊤."""
+    lattice: ValueLattice,
+) -> tuple[str, ...] | None:
+    """A static or ``$`` operand as concrete key(s), or None for ⊤.
+
+    Static operands resolve to their single key.  ``$`` operands pop
+    the abstract stack and enumerate the popped value's members —
+    one key under the const lattice, up to
+    :data:`~repro.staticcheck.valueset.MAX_ENUMERATED_KEYS` under the
+    value-set lattice.  Each ``$`` site is tallied as resolved or
+    ⊤-widened exactly once (the lint surfaces the counts).
+    """
     if operand != STACK_OPERAND:
-        return str(operand)
+        return (str(operand),)
     (value,) = frame.pop(pc)
-    if isinstance(value, Const):
-        return str(value.value)
+    keys = lattice.enumerate_keys(value)
+    if keys is not None:
+        if frame.effects is not None:
+            frame.effects.resolved_sites.add(pc)
+        return keys
     if frame.effects is not None:
+        frame.effects.widened_sites.add(pc)
         frame.effects.diagnose(
             pc,
             SEVERITY_WARNING,
@@ -221,9 +269,10 @@ def _resolve_key(
 def _step_block(
     program: Program,
     block: BasicBlock,
-    entry: StackState,
+    entry: ValueStack,
     effects: _Effects | None,
-) -> list[tuple[int, StackState]]:
+    lattice: ValueLattice,
+) -> list[tuple[int, ValueStack]]:
     """Abstractly execute *block* from *entry*; return successor states."""
     frame = _AbstractFrame(entry, effects)
     for pc in range(block.start, block.end):
@@ -254,23 +303,16 @@ def _step_block(
                 frame.push(lhs)
             elif op in _BINARY_OPS:
                 rhs, lhs = frame.pop(pc, 2)
-                if (
-                    isinstance(lhs, Const)
-                    and isinstance(rhs, Const)
-                    and isinstance(lhs.value, int)
-                    and isinstance(rhs.value, int)
-                ):
-                    frame.push(Const(_fold(op, lhs.value, rhs.value)))
-                else:
-                    # Non-int constants would fault at run time; pushing
-                    # ⊤ and continuing only widens the access set.
-                    frame.push(TOP)
+                # Non-int members would fault at run time; folding only
+                # the int cartesian product (or widening to ⊤) keeps the
+                # access set a sound over-approximation.
+                def fold_pair(a: int, b: int, _op: Op = op) -> int:
+                    return _fold(_op, a, b)
+
+                frame.push(lattice.fold(fold_pair, lhs, rhs))
             elif op is Op.ISZERO:
                 (value,) = frame.pop(pc)
-                if isinstance(value, Const) and isinstance(value.value, int):
-                    frame.push(Const(1 if value.value == 0 else 0))
-                else:
-                    frame.push(TOP)
+                frame.push(lattice.iszero(value))
             elif op is Op.JUMP:
                 if block.successors:
                     return [(block.successors[0], frame.snapshot())]
@@ -280,48 +322,42 @@ def _step_block(
                 state = frame.snapshot()
                 target = _jumpi_target(instruction, program)
                 fall = pc + 1 if pc + 1 < len(program) else None
-                if isinstance(condition, Const) and isinstance(
-                    condition.value, int
-                ):
-                    chosen = target if condition.value != 0 else fall
+                decision = lattice.branch(condition)
+                if decision is not None:
+                    chosen = target if decision else fall
                     return [] if chosen is None else [(chosen, state)]
-                successors: list[tuple[int, StackState]] = []
+                successors: list[tuple[int, ValueStack]] = []
                 if target is not None:
                     successors.append((target, state))
                 if fall is not None:
                     successors.append((fall, state))
                 return successors
             elif op is Op.SLOAD:
-                key = _resolve_key(
-                    instruction.operand, frame, pc, "storage key"
+                keys = _resolve_keys(
+                    instruction.operand, frame, pc, "storage key", lattice
                 )
                 if effects is not None:
-                    effects.storage_reads = (
-                        effects.storage_reads.add(key)
-                        if key is not None
-                        else effects.storage_reads.widen()
+                    effects.storage_reads = _widen_or_add(
+                        effects.storage_reads, keys
                     )
                 frame.push(TOP)  # storage contents are unknown statically
             elif op is Op.SSTORE:
-                key = _resolve_key(
-                    instruction.operand, frame, pc, "storage key"
+                keys = _resolve_keys(
+                    instruction.operand, frame, pc, "storage key", lattice
                 )
                 frame.pop(pc)  # the stored value
                 if effects is not None:
-                    effects.storage_writes = (
-                        effects.storage_writes.add(key)
-                        if key is not None
-                        else effects.storage_writes.widen()
+                    effects.storage_writes = _widen_or_add(
+                        effects.storage_writes, keys
                     )
             elif op is Op.BALANCE:
-                address = _resolve_key(
-                    instruction.operand, frame, pc, "balance address"
+                addresses = _resolve_keys(
+                    instruction.operand, frame, pc, "balance address",
+                    lattice,
                 )
                 if effects is not None:
-                    effects.balance_reads = (
-                        effects.balance_reads.add(address)
-                        if address is not None
-                        else effects.balance_reads.widen()
+                    effects.balance_reads = _widen_or_add(
+                        effects.balance_reads, addresses
                     )
                 frame.push(TOP)
             elif op in (Op.CALL, Op.TRANSFER):
@@ -330,8 +366,10 @@ def _step_block(
                     raw_target, value = operand
                 else:  # malformed hand-built operand: stay total, widen
                     raw_target, value = None, 0
-                target = (
-                    _resolve_key(raw_target, frame, pc, "call target")
+                targets = (
+                    _resolve_keys(
+                        raw_target, frame, pc, "call target", lattice
+                    )
                     if raw_target is not None
                     else None
                 )
@@ -339,8 +377,13 @@ def _step_block(
                     effects.calls[pc] = CallSite(
                         pc=pc,
                         kind="call" if op is Op.CALL else "transfer",
-                        target=target,
+                        target=(
+                            targets[0]
+                            if targets is not None and len(targets) == 1
+                            else None
+                        ),
                         value=int(value),
+                        targets=targets,
                     )
             elif op is Op.LOG:
                 frame.pop(pc)
@@ -354,6 +397,15 @@ def _step_block(
     return []
 
 
+def _widen_or_add(may_set: MaySet, keys: tuple[str, ...] | None) -> MaySet:
+    """Add every resolved key to *may_set*, or widen it on ⊤."""
+    if keys is None:
+        return may_set.widen()
+    for key in keys:
+        may_set = may_set.add(key)
+    return may_set
+
+
 def _jumpi_target(instruction: Instruction, program: Program) -> int | None:
     operand = instruction.operand
     if isinstance(operand, int) and 0 <= operand < len(program):
@@ -361,10 +413,15 @@ def _jumpi_target(instruction: Instruction, program: Program) -> int | None:
     return None
 
 
-def analyze_program(program: Program) -> ProgramSummary:
+def analyze_program(
+    program: Program,
+    *,
+    lattice: "str | ValueLattice" = DEFAULT_LATTICE,
+) -> ProgramSummary:
     """Compute the sound access summary and diagnostics of *program*."""
+    domain = get_lattice(lattice)
     cfg = build_cfg(program)
-    entry_states: dict[int, StackState] = {}
+    entry_states: dict[int, ValueStack] = {}
     blocks_by_start = {block.start: block for block in cfg.blocks}
 
     if cfg.blocks:
@@ -378,13 +435,15 @@ def analyze_program(program: Program) -> ProgramSummary:
             start = worklist.pop()
             block = blocks_by_start[start]
             for successor, state in _step_block(
-                program, block, entry_states[start], effects=None
+                program, block, entry_states[start], None, domain
             ):
                 if successor not in entry_states:
                     entry_states[successor] = state
                     worklist.append(successor)
                 else:
-                    joined = join_stack(entry_states[successor], state)
+                    joined = domain.join_stacks(
+                        entry_states[successor], state
+                    )
                     if joined != entry_states[successor]:
                         entry_states[successor] = joined
                         worklist.append(successor)
@@ -394,7 +453,8 @@ def analyze_program(program: Program) -> ProgramSummary:
     effects = _Effects()
     for start in sorted(entry_states):
         _step_block(
-            program, blocks_by_start[start], entry_states[start], effects
+            program, blocks_by_start[start], entry_states[start], effects,
+            domain,
         )
 
     for diagnostic in cfg.diagnostics:
@@ -422,12 +482,22 @@ def analyze_program(program: Program) -> ProgramSummary:
             effects.calls[pc] for pc in sorted(effects.calls)
         ),
         diagnostics=diagnostics,
+        widened_sites=frozenset(effects.widened_sites),
+        resolved_sites=frozenset(effects.resolved_sites),
     )
     if obs.enabled():
         obs.counter("staticcheck.programs").inc()
         obs.counter("staticcheck.instructions").inc(len(program))
         if summary.top_widened:
             obs.counter("staticcheck.top_widened").inc()
+        if summary.widened_sites:
+            obs.counter("staticcheck.sites.widened").inc(
+                len(summary.widened_sites)
+            )
+        if summary.resolved_sites:
+            obs.counter("staticcheck.sites.resolved").inc(
+                len(summary.resolved_sites)
+            )
         for diagnostic in diagnostics:
             obs.counter(
                 "staticcheck.diagnostics", severity=diagnostic.severity

@@ -1,0 +1,290 @@
+"""Incremental interprocedural re-analysis with digest-keyed caches.
+
+:class:`~repro.staticcheck.interproc.ContractAnalyzer` computes one
+joint closure over the whole registry and memoizes it for its own
+lifetime — correct for a frozen code population, but a chain *grows*:
+new contracts deploy mid-chain, and re-running the full closure on
+every growth step re-analyzes every program ever registered.
+
+:class:`IncrementalAnalyzer` makes re-analysis proportional to what
+actually changed, with two digest-keyed cache levels:
+
+* **summaries** keyed by the *bytecode digest* (sha-256 over the
+  instruction stream).  The registry never rebinds a ``code_id`` to a
+  different program (:meth:`~repro.vm.contract.CodeRegistry.register`
+  raises), so a digest hit is always sound — and two addresses binding
+  byte-identical programs share one summary.
+* **closures** keyed by a *dependency digest*: sha-256 over the
+  lattice name plus every ``(address, code_id, bytecode digest)``
+  triple in the address's call-graph reachable set (following resolved
+  ``CALL`` targets, including unbound addresses — binding code to a
+  previously codeless callee must invalidate its callers).  If any
+  program or binding anywhere in the reachable set changes, the digest
+  changes and the closure recomputes over exactly that subgraph;
+  registry growth that does not touch the reachable set keeps the
+  digest stable and the cached closure valid.
+
+Cycle safety: mutually recursive contracts have identical reachable
+sets, so their dependency digests go stale *together* and the dirty
+subgraph is re-closed jointly — the fixpoint never mixes stale and
+fresh members of one SCC.
+
+Cache traffic is observable as ``staticcheck.cache.*`` counters
+(``summary_hits`` / ``summary_misses`` / ``closure_hits`` /
+``closure_misses`` / ``invalidated``) and on the :attr:`stats` object.
+The analyzer is a drop-in provider for
+:func:`repro.staticcheck.predict.predict_transaction` (it implements
+``has_code`` / ``closed_access``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro import obs
+from repro.staticcheck.absint import ProgramSummary, analyze_program
+from repro.staticcheck.interproc import (
+    EMPTY_ACCESS,
+    ClosedAccess,
+    known_call_targets,
+    local_access,
+)
+from repro.staticcheck.valueset import (
+    DEFAULT_LATTICE,
+    ValueLattice,
+    get_lattice,
+)
+from repro.vm.contract import CodeRegistry, Program
+
+_MAX_CLOSURE_PASSES = 10_000
+
+_EMPTY_PROGRAM: Program = ()
+
+
+def program_digest(program: Program) -> str:
+    """A stable content digest of one program's instruction stream."""
+    hasher = hashlib.sha256()
+    for instruction in program:
+        hasher.update(
+            repr((instruction.op.name, instruction.operand)).encode()
+        )
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Running cache-traffic tallies (mirrors ``staticcheck.cache.*``)."""
+
+    summary_hits: int = 0
+    summary_misses: int = 0
+    closure_hits: int = 0
+    closure_misses: int = 0
+    invalidated: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "summary_hits": self.summary_hits,
+            "summary_misses": self.summary_misses,
+            "closure_hits": self.closure_hits,
+            "closure_misses": self.closure_misses,
+            "invalidated": self.invalidated,
+        }
+
+
+class IncrementalAnalyzer:
+    """Digest-cached analyzer that survives registry growth.
+
+    Args:
+        registry: the chain's (growing) program store.
+        code_of: initial address → ``code_id`` bindings; extend with
+            :meth:`bind` as contracts deploy.
+        lattice: abstract slot domain, as in
+            :class:`~repro.staticcheck.interproc.ContractAnalyzer`.
+    """
+
+    def __init__(
+        self,
+        registry: CodeRegistry,
+        code_of: Mapping[str, str] | None = None,
+        *,
+        lattice: "str | ValueLattice" = DEFAULT_LATTICE,
+    ) -> None:
+        self.registry = registry
+        self.code_of: dict[str, str] = dict(code_of or {})
+        self.lattice = get_lattice(lattice)
+        self.stats = CacheStats()
+        self._digests: dict[str, str] = {}
+        self._summaries: dict[str, ProgramSummary] = {}
+        self._closures: dict[str, tuple[str, ClosedAccess]] = {}
+
+    # -- bindings -------------------------------------------------------
+
+    def bind(self, address: str, code_id: str) -> None:
+        """Bind (or rebind) *address* to *code_id*.
+
+        Closures whose reachable set contains *address* go stale via
+        the dependency digest; nothing is eagerly recomputed.
+        """
+        self.code_of[address] = code_id
+
+    def has_code(self, address: str) -> bool:
+        return address in self.code_of
+
+    # -- level 1: per-program summaries ---------------------------------
+
+    def summary(self, code_id: str) -> ProgramSummary:
+        """The summary of *code_id*, cached by bytecode digest."""
+        digest = self._code_digest(code_id)
+        cached = self._summaries.get(digest)
+        if cached is not None:
+            self.stats.summary_hits += 1
+            self._count("summary_hits")
+            return cached
+        self.stats.summary_misses += 1
+        self._count("summary_misses")
+        program = self.registry.get(code_id)
+        summary = analyze_program(
+            program if program is not None else _EMPTY_PROGRAM,
+            lattice=self.lattice,
+        )
+        self._summaries[digest] = summary
+        return summary
+
+    def _code_digest(self, code_id: str) -> str:
+        cached = self._digests.get(code_id)
+        if cached is not None:
+            return cached
+        program = self.registry.get(code_id)
+        if program is None:
+            # Not registered (yet): don't cache — the id may appear in
+            # the registry later and must then digest to its real body.
+            return program_digest(_EMPTY_PROGRAM)
+        digest = program_digest(program)
+        self._digests[code_id] = digest
+        return digest
+
+    # -- level 2: closed access sets ------------------------------------
+
+    def closed_access(self, address: str) -> ClosedAccess:
+        """The closed access set of *address*, cached by dep digest."""
+        if address not in self.code_of:
+            return EMPTY_ACCESS
+        reachable = self._reachable(address)
+        digest = self._dependency_digest(reachable)
+        cached = self._closures.get(address)
+        if cached is not None and cached[0] == digest:
+            self.stats.closure_hits += 1
+            self._count("closure_hits")
+            return cached[1]
+        if cached is not None:
+            self.stats.invalidated += 1
+            self._count("invalidated")
+        self.stats.closure_misses += 1
+        self._count("closure_misses")
+        closed = self._close_subgraph(reachable)
+        # Cache every member of the freshly closed subgraph under its
+        # own dependency digest: each member's reachable set is a
+        # subset of this one, so its fixpoint value is final too.
+        for member in reachable:
+            if member in self.code_of:
+                member_digest = self._dependency_digest(
+                    self._reachable(member)
+                )
+                self._closures[member] = (member_digest, closed[member])
+        return closed[address]
+
+    def analyze_all(self) -> dict[str, ClosedAccess]:
+        """Closures for every bound address (cache-aware)."""
+        return {
+            address: self.closed_access(address)
+            for address in sorted(self.code_of)
+        }
+
+    # -- internals ------------------------------------------------------
+
+    def _reachable(self, address: str) -> tuple[str, ...]:
+        """*address* plus everything reachable over resolved CALLs.
+
+        Unbound addresses are included: they are part of the dependency
+        surface (binding code to one later must invalidate callers)
+        even though they contribute no local access.
+        """
+        seen = {address}
+        frontier = [address]
+        while frontier:
+            current = frontier.pop()
+            code_id = self.code_of.get(current)
+            if code_id is None:
+                continue
+            for target in known_call_targets(self.summary(code_id)):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return tuple(sorted(seen))
+
+    def _dependency_digest(self, reachable: tuple[str, ...]) -> str:
+        hasher = hashlib.sha256(self.lattice.name.encode())
+        for address in reachable:
+            code_id = self.code_of.get(address)
+            hasher.update(address.encode())
+            hasher.update(b"\x00")
+            if code_id is None:
+                hasher.update(b"-\x00")
+            else:
+                hasher.update(code_id.encode())
+                hasher.update(b"\x00")
+                hasher.update(self._code_digest(code_id).encode())
+            hasher.update(b"\x01")
+        return hasher.hexdigest()
+
+    def _close_subgraph(
+        self, reachable: tuple[str, ...]
+    ) -> dict[str, ClosedAccess]:
+        """Joint closure fixpoint restricted to *reachable* members."""
+        members = [a for a in reachable if a in self.code_of]
+        with obs.trace_span(
+            "staticcheck.incremental.closure", contracts=len(members)
+        ) as span:
+            local = {
+                address: local_access(
+                    address, self.summary(self.code_of[address])
+                )
+                for address in members
+            }
+            closed = dict(local)
+            passes = 0
+            changed = True
+            while changed:
+                passes += 1
+                if passes > _MAX_CLOSURE_PASSES:  # pragma: no cover
+                    raise RuntimeError(
+                        "incremental interprocedural closure diverged"
+                    )
+                changed = False
+                for address in members:
+                    merged = local[address]
+                    targets = known_call_targets(
+                        self.summary(self.code_of[address])
+                    )
+                    for target in targets:
+                        if target in closed:
+                            merged = merged.union(closed[target])
+                    if merged != closed[address]:
+                        closed[address] = merged
+                        changed = True
+            if obs.enabled():
+                span.set(passes=passes)
+        return closed
+
+    def _count(self, name: str) -> None:
+        if obs.enabled():
+            obs.counter(f"staticcheck.cache.{name}").inc()
+
+
+__all__ = [
+    "CacheStats",
+    "IncrementalAnalyzer",
+    "program_digest",
+]

@@ -30,6 +30,11 @@ from typing import Iterable, Mapping
 from repro import obs
 from repro.account.state import WorldState
 from repro.staticcheck.absint import ProgramSummary, analyze_program
+from repro.staticcheck.valueset import (
+    DEFAULT_LATTICE,
+    ValueLattice,
+    get_lattice,
+)
 from repro.vm.contract import CodeRegistry
 
 _MAX_CLOSURE_PASSES = 10_000
@@ -132,6 +137,77 @@ class ClosedAccess:
 EMPTY_ACCESS = ClosedAccess()
 
 
+def known_call_targets(summary: ProgramSummary) -> tuple[str, ...]:
+    """Every resolved ``CALL`` target of *summary*, in site order.
+
+    Value-set resolved sites contribute all their candidate targets;
+    ⊤-widened sites contribute nothing here (they set ``global_top`` in
+    :func:`local_access` instead).
+    """
+    targets: list[str] = []
+    for site in summary.calls:
+        if site.is_call and site.targets is not None:
+            targets.extend(site.targets)
+    return tuple(dict.fromkeys(targets))
+
+
+def local_access(address: str, summary: ProgramSummary) -> ClosedAccess:
+    """One address's own contribution, before closing call edges."""
+    reads = frozenset(
+        (address, key) for key in summary.storage_reads.items
+    )
+    writes = frozenset(
+        (address, key) for key in summary.storage_writes.items
+    )
+    access = ClosedAccess(
+        storage_reads=reads,
+        storage_writes=writes,
+        storage_read_top=(
+            frozenset({address}) if summary.storage_reads.top
+            else frozenset()
+        ),
+        storage_write_top=(
+            frozenset({address}) if summary.storage_writes.top
+            else frozenset()
+        ),
+        balance_reads=frozenset(summary.balance_reads.items),
+        balance_read_top=summary.balance_reads.top,
+    )
+    endpoints: set[str] = set()
+    balance_writes: set[str] = set()
+    endpoint_top = False
+    balance_write_top = False
+    global_top = False
+    for site in summary.calls:
+        if site.targets is None:
+            # Unknown target: any address may appear in the trace;
+            # with value attached any balance may move; a CALL may
+            # run any registered contract.
+            endpoint_top = True
+            if site.value > 0:
+                balance_write_top = True
+            if site.is_call:
+                global_top = True
+            continue
+        # A value-set target site may run any of finitely many
+        # candidates; all of them are possible endpoints (and balance
+        # recipients, when value moves).
+        endpoints.add(address)
+        for target in site.targets:
+            endpoints.add(target)
+            if site.value > 0:
+                balance_writes.add(address)
+                balance_writes.add(target)
+    return replace(
+        access,
+        balance_writes=frozenset(balance_writes),
+        balance_write_top=balance_write_top,
+        internal_endpoints=frozenset(endpoints),
+        endpoint_top=endpoint_top,
+        global_top=global_top,
+    )
+
+
 class ContractAnalyzer:
     """Analyzes a code registry and closes access sets over call edges.
 
@@ -141,13 +217,21 @@ class ContractAnalyzer:
             :func:`code_bindings` or built by hand in tests).  Only
             addresses present here execute code; a call to any other
             address is a plain value transfer.
+        lattice: the abstract slot domain threaded to
+            :func:`~repro.staticcheck.absint.analyze_program` —
+            ``"valueset"`` (default) or ``"const"``.
     """
 
     def __init__(
-        self, registry: CodeRegistry, code_of: Mapping[str, str]
+        self,
+        registry: CodeRegistry,
+        code_of: Mapping[str, str],
+        *,
+        lattice: "str | ValueLattice" = DEFAULT_LATTICE,
     ) -> None:
         self.registry = registry
         self.code_of = dict(code_of)
+        self.lattice = get_lattice(lattice)
         self._summaries: dict[str, ProgramSummary] = {}
         self._closed: dict[str, ClosedAccess] | None = None
 
@@ -158,7 +242,10 @@ class ContractAnalyzer:
         cached = self._summaries.get(code_id)
         if cached is None:
             program = self.registry.get(code_id)
-            cached = analyze_program(program if program is not None else ())
+            cached = analyze_program(
+                program if program is not None else (),
+                lattice=self.lattice,
+            )
             self._summaries[code_id] = cached
         return cached
 
@@ -223,62 +310,8 @@ class ContractAnalyzer:
         return dict(closed)
 
     def _call_targets(self, address: str) -> Iterable[str]:
-        summary = self.summary(self.code_of[address])
-        return (
-            site.target
-            for site in summary.calls
-            if site.is_call and site.target is not None
-        )
+        return known_call_targets(self.summary(self.code_of[address]))
 
     def _local_access(self, address: str) -> ClosedAccess:
         """One address's own contribution, before closing call edges."""
-        summary = self.summary(self.code_of[address])
-        reads = frozenset(
-            (address, key) for key in summary.storage_reads.items
-        )
-        writes = frozenset(
-            (address, key) for key in summary.storage_writes.items
-        )
-        access = ClosedAccess(
-            storage_reads=reads,
-            storage_writes=writes,
-            storage_read_top=(
-                frozenset({address}) if summary.storage_reads.top
-                else frozenset()
-            ),
-            storage_write_top=(
-                frozenset({address}) if summary.storage_writes.top
-                else frozenset()
-            ),
-            balance_reads=frozenset(summary.balance_reads.items),
-            balance_read_top=summary.balance_reads.top,
-        )
-        endpoints: set[str] = set()
-        balance_writes: set[str] = set()
-        endpoint_top = False
-        balance_write_top = False
-        global_top = False
-        for site in summary.calls:
-            if site.target is None:
-                # Unknown target: any address may appear in the trace;
-                # with value attached any balance may move; a CALL may
-                # run any registered contract.
-                endpoint_top = True
-                if site.value > 0:
-                    balance_write_top = True
-                if site.is_call:
-                    global_top = True
-                continue
-            endpoints.add(address)
-            endpoints.add(site.target)
-            if site.value > 0:
-                balance_writes.add(address)
-                balance_writes.add(site.target)
-        return replace(
-            access,
-            balance_writes=frozenset(balance_writes),
-            balance_write_top=balance_write_top,
-            internal_endpoints=frozenset(endpoints),
-            endpoint_top=endpoint_top,
-            global_top=global_top,
-        )
+        return local_access(address, self.summary(self.code_of[address]))

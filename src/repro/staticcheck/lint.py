@@ -10,11 +10,13 @@ ordering and a conventional exit code.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.staticcheck.absint import analyze_program
 from repro.staticcheck.diagnostics import Diagnostic
+from repro.staticcheck.valueset import DEFAULT_LATTICE, ValueLattice
 from repro.vm.contract import CodeRegistry
 
 
@@ -26,6 +28,9 @@ class ContractReport:
     num_instructions: int
     diagnostics: tuple[Diagnostic, ...]
     top_widened: bool
+    num_widened_sites: int = 0
+    num_resolved_sites: int = 0
+    analysis_seconds: float = 0.0
 
     @property
     def num_errors(self) -> int:
@@ -65,7 +70,10 @@ class LintReport:
 
 
 def lint_registry(
-    registry: CodeRegistry, code_ids: Iterable[str] | None = None
+    registry: CodeRegistry,
+    code_ids: Iterable[str] | None = None,
+    *,
+    lattice: str | ValueLattice = DEFAULT_LATTICE,
 ) -> LintReport:
     """Analyze every program in *registry* (or the given subset)."""
     selected = (
@@ -76,35 +84,59 @@ def lint_registry(
         program = registry.get(code_id)
         if program is None:
             continue
-        summary = analyze_program(program)
+        started = time.perf_counter()
+        summary = analyze_program(program, lattice=lattice)
+        elapsed = time.perf_counter() - started
         contracts.append(
             ContractReport(
                 code_id=code_id,
                 num_instructions=summary.num_instructions,
                 diagnostics=summary.diagnostics,
                 top_widened=summary.top_widened,
+                num_widened_sites=len(summary.widened_sites),
+                num_resolved_sites=len(summary.resolved_sites),
+                analysis_seconds=elapsed,
             )
         )
     return LintReport(contracts=tuple(contracts))
 
 
-def render_lint_report(report: LintReport) -> str:
-    """Human-readable lint output, one diagnostic per line."""
+def render_lint_report(report: LintReport, *, timings: bool = True) -> str:
+    """Human-readable lint output, one diagnostic per line.
+
+    The per-contract status line ends with a bracketed analysis-cost
+    note (milliseconds plus the dynamic-operand site tally) appended
+    *after* the status text, so downstream greps for e.g. ``: clean``
+    keep matching.  Pass ``timings=False`` for byte-stable output.
+    """
     lines: list[str] = []
+    total_seconds = 0.0
     for contract in report.contracts:
         status = "clean" if contract.clean else (
             f"{contract.num_errors} error(s), "
             f"{contract.num_warnings} warning(s)"
         )
+        total_seconds += contract.analysis_seconds
+        note = ""
+        if timings:
+            note = (
+                f" [{contract.analysis_seconds * 1000.0:.2f} ms, "
+                f"{contract.num_resolved_sites} resolved / "
+                f"{contract.num_widened_sites} widened site(s)]"
+            )
         lines.append(
             f"{contract.code_id} "
-            f"({contract.num_instructions} instructions): {status}"
+            f"({contract.num_instructions} instructions): {status}{note}"
         )
         for diagnostic in contract.diagnostics:
             lines.append(f"  {diagnostic.render()}")
+    summary_note = (
+        f" in {total_seconds * 1000.0:.2f} ms" if timings else ""
+    )
     lines.append(
         f"{len(report.contracts)} contract(s) checked: "
         f"{report.num_errors} error(s), {report.num_warnings} warning(s)"
+        f"{summary_note}"
     )
     return "\n".join(lines)
 

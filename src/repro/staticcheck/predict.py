@@ -27,13 +27,28 @@ an imprecise (but never wrong) oracle, bought at analysis cost ``K``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping, Protocol, Sequence
 
 from repro.account.transaction import AccountTransaction
 from repro.core.components import UnionFind
 from repro.core.tdg import TDGResult
 from repro.execution.engine import TxTask
-from repro.staticcheck.interproc import ContractAnalyzer
+from repro.staticcheck.interproc import ClosedAccess
+from repro.utxo.transaction import UTXOTransaction
+
+
+class AccessAnalyzer(Protocol):
+    """What prediction needs from an analyzer.
+
+    Satisfied by both :class:`~repro.staticcheck.interproc.ContractAnalyzer`
+    (from-scratch) and
+    :class:`~repro.staticcheck.incremental.IncrementalAnalyzer`
+    (digest-cached).
+    """
+
+    def has_code(self, address: str) -> bool: ...
+
+    def closed_access(self, address: str) -> ClosedAccess: ...
 
 
 @dataclass(frozen=True)
@@ -90,7 +105,7 @@ def unknown_access(tx_hash: str) -> PredictedAccess:
 
 
 def predict_transaction(
-    tx: AccountTransaction, analyzer: ContractAnalyzer
+    tx: AccountTransaction, analyzer: AccessAnalyzer
 ) -> PredictedAccess:
     """Predict the access set of *tx* without executing it.
 
@@ -160,7 +175,7 @@ def predict_transaction(
 
 def predict_block(
     transactions: Sequence[AccountTransaction],
-    analyzer: ContractAnalyzer,
+    analyzer: AccessAnalyzer,
 ) -> list[PredictedAccess]:
     """Predictions for a block's regular (non-coinbase) transactions."""
     return [
@@ -168,6 +183,29 @@ def predict_block(
         for tx in transactions
         if not tx.is_coinbase
     ]
+
+
+def predict_utxo_block(
+    transactions: Sequence[UTXOTransaction],
+) -> list[PredictedAccess]:
+    """Predictions for a UTXO block's regular transactions.
+
+    UTXO access sets are syntactic — a transaction names every outpoint
+    it consumes or creates — so the "prediction" is exact: writes are
+    the spent inputs plus the created outputs, mirroring
+    :func:`repro.execution.engine.tasks_from_utxo_block`, and nothing
+    ever widens.
+    """
+    predictions: list[PredictedAccess] = []
+    for tx in transactions:
+        if tx.is_coinbase:
+            continue
+        writes = {str(outpoint) for outpoint in tx.inputs}
+        writes.update(str(outpoint) for outpoint in tx.outpoints_created())
+        predictions.append(
+            PredictedAccess(tx_hash=tx.tx_hash, writes=frozenset(writes))
+        )
+    return predictions
 
 
 def predicted_conflicts(a: PredictedAccess, b: PredictedAccess) -> bool:

@@ -237,6 +237,67 @@ CONST_INDEXED_ASM = """
 """
 
 
+# -- routed bodies: branch-joined constant targets ------------------------
+#
+# Each branch arm pushes a different constant target, and the dynamic
+# ``transfer $``/``call $`` consumes the *join* of the two arms.  Under
+# the two-point Const/⊤ lattice that join is ⊤ (the whole access set
+# widens); under the value-set lattice it is the exact two-element set
+# {a, b}, so the predicted sets stay finite — the archetype that
+# separates the two lattices' precision.  At runtime the toggle flag
+# alternates the route taken, exercising both arms.
+
+def routed_payout_asm(payee_a: str, payee_b: str) -> str:
+    """Assembly paying one of two fixed payees, chosen by a toggle.
+
+    Addresses must be symbols (not bare integers) so the assembler
+    keeps them as strings.  The deploying workload funds the contract.
+    """
+    return f"""
+        sload toggle
+        dup
+        jumpi 5
+        push {payee_a}
+        jump 6
+        push {payee_b}
+        transfer $ 2
+        iszero
+        sstore toggle
+        stop
+    """
+
+
+def routed_call_asm(route_a: str, route_b: str) -> str:
+    """Assembly calling one of two fixed sink contracts, by a toggle.
+
+    Same shape as :func:`routed_payout_asm` with a dynamic ``CALL``:
+    under Const/⊤ an unknown call target is ``global_top`` ("may run
+    anything"), the most destructive widening; the value-set join keeps
+    the closure to the two sinks' access sets.
+    """
+    return f"""
+        sload toggle
+        dup
+        jumpi 5
+        push {route_a}
+        jump 6
+        push {route_b}
+        call $ 0
+        iszero
+        sstore toggle
+        stop
+    """
+
+
+# The sink bound behind each routed call: one storage write, same shape
+# as the shared-db terminal of the proxy chains.
+ROUTE_SINK_ASM = """
+    push 1
+    sstore hits
+    stop
+"""
+
+
 # A heavy loop used to model expensive (high-gas) transactions, e.g. the
 # 2017 DoS-attack traffic that spiked internal transaction counts.
 def busy_loop_asm(iterations: int) -> str:

@@ -48,9 +48,12 @@ from repro.vm.contract import (
     CONST_INDEXED_ASM,
     DYNAMIC_COUNTER_ASM,
     DYNAMIC_PAYOUT_ASM,
+    ROUTE_SINK_ASM,
     TOGGLE_BRANCH_ASM,
     TOKEN_TRANSFER_ASM,
     CodeRegistry,
+    routed_call_asm,
+    routed_payout_asm,
 )
 from repro.vm.vm import VM
 from repro.workload.actors import ActorPopulation
@@ -231,13 +234,17 @@ class AccountWorkloadBuilder:
     def _setup_dynamic_contract(self, index: int, address: str) -> str:
         """Deploy one dynamic-operand contract body.
 
-        Four archetypes rotate: storage-flag branching (static analysis
+        Six archetypes rotate: storage-flag branching (static analysis
         must take both arms), counter-keyed writes (storage write ⊤),
-        storage-read transfer targets (balance/endpoint ⊤), and
+        storage-read transfer targets (balance/endpoint ⊤),
         constant-indexed access (dynamic forms that still resolve
-        precisely).
+        precisely), and two *routed* bodies whose branch arms push
+        different constant targets — ⊤-widened under the Const/⊤
+        lattice, exactly resolved under the value-set lattice (the
+        archetypes the static-conflict bench's before/after precision
+        comparison turns on).
         """
-        archetype = index % 4
+        archetype = index % 6
         if archetype == 0:
             code_id = f"toggle{index}"
             self.registry.register_assembly(code_id, TOGGLE_BRANCH_ASM)
@@ -250,9 +257,31 @@ class AccountWorkloadBuilder:
             payee = self._helper_address(f"payee{index}")
             self.state.account(address).storage["payee"] = payee
             self.state.credit(address, FAUCET_BALANCE)
-        else:
+        elif archetype == 3:
             code_id = f"constidx{index}"
             self.registry.register_assembly(code_id, CONST_INDEXED_ASM)
+        elif archetype == 4:
+            # Two-way payout routed by a toggle: value-set-exact
+            # balance targets.  Symbolic payee names keep the assembler
+            # from parsing them as integers.
+            code_id = f"routedpay{index}"
+            self.registry.register_assembly(
+                code_id,
+                routed_payout_asm(f"payee_{index}_a", f"payee_{index}_b"),
+            )
+            self.state.credit(address, FAUCET_BALANCE)
+        else:
+            # Two-way call routed by a toggle: value-set-exact call
+            # targets, each bound to a one-write sink contract.
+            sink_a = f"route_{index}_a"
+            sink_b = f"route_{index}_b"
+            self.registry.register_assembly(f"routesink_{index}", ROUTE_SINK_ASM)
+            self.state.account(sink_a).code_id = f"routesink_{index}"
+            self.state.account(sink_b).code_id = f"routesink_{index}"
+            code_id = f"routedcall{index}"
+            self.registry.register_assembly(
+                code_id, routed_call_asm(sink_a, sink_b)
+            )
         return code_id
 
     # -- sampling helpers -----------------------------------------------------

@@ -93,8 +93,26 @@ class TestValidation:
             replay_profile("bitcoin", blocks=0, seed=0)
 
     def test_coerce_accepts_triples(self, tiny_inputs):
+        """Bare triples coerce to blocks with no predictions attached."""
         triples = [(b.height, b.tasks, b.payload) for b in tiny_inputs]
-        assert coerce_replay_inputs(triples) == tiny_inputs
+        stripped = [
+            ReplayBlock(height=b.height, tasks=b.tasks, payload=b.payload)
+            for b in tiny_inputs
+        ]
+        assert coerce_replay_inputs(triples) == stripped
+        assert all(b.predictions == () for b in coerce_replay_inputs(triples))
+
+    def test_inputs_carry_predictions(self, tiny_inputs):
+        """UTXO predictions are exact: writes mirror the task writes."""
+        carried = [b for b in tiny_inputs if b.tasks]
+        assert carried
+        for block in carried:
+            assert len(block.predictions) == len(block.tasks)
+            by_hash = {p.tx_hash: p for p in block.predictions}
+            for task in block.tasks:
+                prediction = by_hash[task.tx_hash]
+                assert prediction.writes == task.writes
+                assert not prediction.global_top
 
 
 class TestDigests:

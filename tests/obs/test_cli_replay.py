@@ -23,7 +23,7 @@ class TestReplayCommand:
         for engine in ("sequential", "speculative", "occ", "grouped",
                        "dag"):
             assert engine in out
-        assert "state roots agree across 7 engine(s)" in out
+        assert "state roots agree across 8 engine(s)" in out
 
     def test_engine_subset(self, capsys):
         code = main([

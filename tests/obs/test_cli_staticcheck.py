@@ -1,0 +1,97 @@
+"""CLI contract for ``repro.cli staticcheck``: exit-code matrix, the
+lattice switch, and the incremental-cache statistics line."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(capsys, *argv):
+    code = main(["staticcheck", *argv])
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestExitCodes:
+    def test_clean_registry_exits_0(self, capsys):
+        code, out = _run(capsys, "--chain", "ethereum")
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_defects_exit_1(self, capsys):
+        code, out = _run(capsys, "--chain", "ethereum", "--with-defects")
+        assert code == 1
+        assert "stack underflow" in out
+
+    def test_warnings_exit_1_only_under_strict(self, capsys):
+        code, _ = _run(capsys, "--chain", "ethereum", "--dynamic", "2")
+        assert code == 0
+        code, out = _run(
+            capsys, "--chain", "ethereum", "--dynamic", "2", "--strict"
+        )
+        assert code == 1
+        assert "widened to ⊤" in out
+
+    def test_utxo_chain_is_usage_error(self, capsys):
+        assert main(["staticcheck", "--chain", "bitcoin"]) == 2
+        assert "account chain" in capsys.readouterr().err
+
+
+class TestLatticeSwitch:
+    def test_valueset_is_more_precise_than_const(self, capsys):
+        """The routed archetypes widen under const, resolve under the
+        (default) value-set lattice — strictly fewer ⊤ warnings."""
+        _, const_out = _run(
+            capsys, "--chain", "ethereum", "--dynamic", "8",
+            "--lattice", "const",
+        )
+        _, vs_out = _run(
+            capsys, "--chain", "ethereum", "--dynamic", "8",
+            "--lattice", "valueset",
+        )
+        const_tops = const_out.count("widened to ⊤")
+        vs_tops = vs_out.count("widened to ⊤")
+        assert 0 < vs_tops < const_tops
+
+    def test_unknown_lattice_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "staticcheck", "--chain", "ethereum",
+                "--lattice", "octagon",
+            ])
+
+
+class TestLintTable:
+    def test_status_lines_carry_analysis_cost_note(self, capsys):
+        code, out = _run(capsys, "--chain", "ethereum")
+        assert code == 0
+        status = re.compile(
+            r"instructions\): clean \[\d+\.\d+ ms, "
+            r"\d+ resolved / \d+ widened site\(s\)\]"
+        )
+        assert status.search(out)
+        assert re.search(r"contract\(s\) checked: .* in \d+\.\d+ ms", out)
+
+
+class TestIncremental:
+    def test_incremental_reports_cache_hits(self, capsys):
+        code, out = _run(
+            capsys, "--chain", "ethereum", "--incremental"
+        )
+        assert code == 0
+        match = re.search(
+            r"^incremental: summary_hits=(\d+) summary_misses=(\d+) "
+            r"closure_hits=(\d+) closure_misses=(\d+) invalidated=(\d+)$",
+            out, re.MULTILINE,
+        )
+        assert match, out.splitlines()[-1]
+        closure_hits = int(match.group(3))
+        invalidated = int(match.group(5))
+        # Growth-only change: the second pass reuses every pre-existing
+        # closure and invalidates none.
+        assert closure_hits > 0
+        assert invalidated == 0

@@ -243,3 +243,78 @@ def test_loop_fixpoint_terminates_and_covers_effects():
     summary = analyze_program(program)
     assert summary.storage_writes.items == {"hits"}
     assert summary.errors == ()
+
+
+# -- value-set resolution of branch-joined operands -------------------------
+
+
+def test_branch_joined_keys_resolve_under_valueset():
+    # Each arm pushes a different key; the dynamic sstore consumes the
+    # join.  The value-set lattice keeps the exact two-element set.
+    program = assemble(
+        "push 1\n"      # the value to store
+        "sload flag\n"
+        "jumpi 5\n"
+        "push key_a\n"
+        "jump 6\n"
+        "push key_b\n"
+        "sstore $\n"
+        "stop"
+    )
+    summary = analyze_program(program, lattice="valueset")
+    assert summary.storage_writes.items == {"key_a", "key_b"}
+    assert not summary.storage_writes.top
+    assert summary.resolved_sites == frozenset({6})
+    assert summary.widened_sites == frozenset()
+    assert TOP_WIDENED not in codes(summary)
+
+
+def test_branch_joined_keys_widen_under_const():
+    program = assemble(
+        "push 1\n"      # the value to store
+        "sload flag\n"
+        "jumpi 5\n"
+        "push key_a\n"
+        "jump 6\n"
+        "push key_b\n"
+        "sstore $\n"
+        "stop"
+    )
+    summary = analyze_program(program, lattice="const")
+    assert summary.storage_writes.top
+    assert summary.widened_sites == frozenset({6})
+    assert TOP_WIDENED in codes(summary)
+
+
+def test_multi_target_call_site_resolves_under_valueset():
+    from repro.vm.contract import routed_call_asm
+
+    summary = analyze_program(
+        assemble(routed_call_asm("sink_a", "sink_b")), lattice="valueset"
+    )
+    (site,) = summary.calls
+    assert site.target is None          # no single-target view
+    assert site.targets == ("sink_a", "sink_b")
+    assert not summary.has_unknown_call_target
+    assert not summary.top_widened
+
+
+def test_multi_target_call_site_widens_under_const():
+    from repro.vm.contract import routed_call_asm
+
+    summary = analyze_program(
+        assemble(routed_call_asm("sink_a", "sink_b")), lattice="const"
+    )
+    (site,) = summary.calls
+    assert site.targets is None
+    assert summary.has_unknown_call_target
+    assert summary.top_widened
+
+
+def test_single_target_site_keeps_single_target_view():
+    summary = analyze_program(
+        assemble("push 777\ncall $ 0\nstop"), lattice="valueset"
+    )
+    (site,) = summary.calls
+    assert site.target == "777"
+    assert site.targets == ("777",)

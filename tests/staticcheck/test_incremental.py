@@ -1,0 +1,179 @@
+"""Incremental re-analysis: cache equivalence, hits, and invalidation.
+
+The contract under test is the acceptance criterion of the incremental
+layer: analysis through :class:`IncrementalAnalyzer` must be
+*observationally identical* to a from-scratch
+:class:`ContractAnalyzer` run at every point in a registry's growth
+history, while re-analysis after growth reuses every closure whose
+dependency digest is unchanged.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.staticcheck.incremental import (
+    CacheStats,
+    IncrementalAnalyzer,
+    program_digest,
+)
+from repro.staticcheck.interproc import ContractAnalyzer
+from repro.vm.contract import (
+    CodeRegistry,
+    TOKEN_TRANSFER_ASM,
+    proxy_asm,
+    routed_call_asm,
+)
+
+
+def build_registry() -> tuple[CodeRegistry, dict[str, str]]:
+    """A registry with independent, chained and routed contracts."""
+    registry = CodeRegistry()
+    registry.register_assembly("token", TOKEN_TRANSFER_ASM)
+    registry.register_assembly("sink", "push 1\nsstore hits\nstop")
+    registry.register_assembly("proxy", proxy_asm("0xaaa"))
+    registry.register_assembly(
+        "routed", routed_call_asm("0xaaa", "0xbbb")
+    )
+    bindings = {
+        "0xaaa": "sink",
+        "0xbbb": "sink",
+        "0xccc": "proxy",
+        "0xddd": "routed",
+        "0xeee": "token",
+    }
+    return registry, bindings
+
+
+def test_program_digest_tracks_bytecode():
+    registry, _ = build_registry()
+    token = registry.get("token")
+    sink = registry.get("sink")
+    assert token is not None and sink is not None
+    assert program_digest(token) == program_digest(token)
+    assert program_digest(token) != program_digest(sink)
+
+
+def test_incremental_matches_from_scratch():
+    registry, bindings = build_registry()
+    incremental = IncrementalAnalyzer(registry, bindings)
+    oracle = ContractAnalyzer(registry, bindings)
+    for address in bindings:
+        assert incremental.closed_access(address) == (
+            oracle.closed_access(address)
+        )
+    # Summaries agree too (modulo caching identity).
+    for code_id in registry.code_ids():
+        assert incremental.summary(code_id) == oracle.summary(code_id)
+
+
+def test_growth_only_change_hits_cache():
+    registry, bindings = build_registry()
+    analyzer = IncrementalAnalyzer(registry, bindings)
+    first = analyzer.analyze_all()
+    assert analyzer.stats.closure_hits == 0
+    assert analyzer.stats.invalidated == 0
+
+    # Grow the registry by a contract nobody calls: every existing
+    # closure's dependency digest is unchanged.
+    registry.register_assembly("late", "push 9\nsstore nine\nstop")
+    analyzer.bind("0xfff", "late")
+    second = analyzer.analyze_all()
+
+    assert analyzer.stats.closure_hits >= len(bindings)
+    assert analyzer.stats.invalidated == 0
+    for address in bindings:
+        assert second[address] == first[address]
+    oracle = ContractAnalyzer(
+        registry, {**bindings, "0xfff": "late"}
+    )
+    for address in {**bindings, "0xfff": "late"}:
+        assert second[address] == oracle.closed_access(address)
+
+
+def test_binding_reachable_address_invalidates_dependents():
+    """Binding code at an address a contract already calls must
+    invalidate the caller's closure (its callee set changed)."""
+    registry = CodeRegistry()
+    registry.register_assembly("caller", proxy_asm("0x123"))
+    bindings = {"0xabc": "caller"}
+    analyzer = IncrementalAnalyzer(registry, bindings)
+    before = analyzer.closed_access("0xabc")
+    # 0x123 has no code yet: the call is a plain transfer, endpoint only.
+    assert ("0x123", "hits") not in before.storage_writes
+
+    registry.register_assembly("sink", "push 1\nsstore hits\nstop")
+    analyzer.bind("0x123", "sink")
+    after = analyzer.closed_access("0xabc")
+    assert analyzer.stats.invalidated >= 1
+    assert ("0x123", "hits") in after.storage_writes
+    oracle = ContractAnalyzer(registry, {**bindings, "0x123": "sink"})
+    assert after == oracle.closed_access("0xabc")
+
+
+def test_cache_stats_counters_mirror_obs():
+    registry, bindings = build_registry()
+    with obs.instrumented() as state:
+        analyzer = IncrementalAnalyzer(registry, bindings)
+        analyzer.analyze_all()
+        analyzer.analyze_all()
+    snapshot = state.registry.snapshot()["counters"]
+    assert snapshot["staticcheck.cache.closure_misses"] == (
+        analyzer.stats.closure_misses
+    )
+    assert snapshot["staticcheck.cache.closure_hits"] == (
+        analyzer.stats.closure_hits
+    )
+    assert analyzer.stats.closure_hits >= len(bindings)
+
+
+def test_cache_stats_as_dict_round_trip():
+    stats = CacheStats(
+        summary_hits=1, summary_misses=2, closure_hits=3,
+        closure_misses=4, invalidated=5,
+    )
+    assert stats.as_dict() == {
+        "summary_hits": 1, "summary_misses": 2, "closure_hits": 3,
+        "closure_misses": 4, "invalidated": 5,
+    }
+
+
+# -- property: growth history equivalence ------------------------------
+
+_BODIES = (
+    TOKEN_TRANSFER_ASM,
+    "push 1\nsstore hits\nstop",
+    proxy_asm("0xa0"),
+    proxy_asm("0xa1"),
+    routed_call_asm("0xa0", "0xa1"),
+    "sload n\npush 1\nadd\nsstore n\nstop",
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    order=st.permutations(range(len(_BODIES))),
+    cutoffs=st.sets(
+        st.integers(min_value=1, max_value=len(_BODIES) - 1), max_size=3
+    ),
+)
+def test_property_growth_equals_from_scratch(order, cutoffs):
+    """Growing the registry one contract at a time, the incremental
+    analyzer's closures equal a from-scratch analysis at every step."""
+    registry = CodeRegistry()
+    analyzer = IncrementalAnalyzer(registry)
+    bindings: dict[str, str] = {}
+    for step, body_index in enumerate(order, start=1):
+        code_id = f"c{body_index}"
+        address = f"0xa{body_index}"
+        registry.register_assembly(code_id, _BODIES[body_index])
+        analyzer.bind(address, code_id)
+        bindings[address] = code_id
+        if step in cutoffs or step == len(order):
+            fresh = ContractAnalyzer(registry, bindings)
+            for bound in bindings:
+                assert analyzer.closed_access(bound) == (
+                    fresh.closed_access(bound)
+                )

@@ -129,3 +129,57 @@ def test_call_to_codeless_address_is_plain_endpoint():
     assert closed.internal_endpoints == frozenset({"ff", "sink0", "sink1"})
     assert closed.balance_writes == frozenset()
     assert not closed.is_top_widened
+
+
+def test_routed_call_closure_stays_finite_under_valueset():
+    """A branch-joined call target closes over exactly the two sinks
+    under the value-set lattice, but goes global-⊤ under const."""
+    from repro.vm.contract import ROUTE_SINK_ASM, routed_call_asm
+
+    bodies = {
+        "routed": routed_call_asm("sink_a", "sink_b"),
+        "sink": ROUTE_SINK_ASM,
+    }
+    bindings = {"rt": "routed", "sink_a": "sink", "sink_b": "sink"}
+
+    registry = CodeRegistry()
+    for code_id, text in bodies.items():
+        registry.register_assembly(code_id, text)
+
+    precise = ContractAnalyzer(
+        registry, bindings, lattice="valueset"
+    ).closed_access("rt")
+    assert not precise.global_top
+    assert ("sink_a", "hits") in precise.storage_writes
+    assert ("sink_b", "hits") in precise.storage_writes
+    assert precise.internal_endpoints == frozenset(
+        {"rt", "sink_a", "sink_b"}
+    )
+
+    widened = ContractAnalyzer(
+        registry, bindings, lattice="const"
+    ).closed_access("rt")
+    assert widened.global_top
+
+
+def test_routed_transfer_closure_stays_finite_under_valueset():
+    from repro.vm.contract import routed_payout_asm
+
+    registry = CodeRegistry()
+    registry.register_assembly(
+        "pay", routed_payout_asm("payee_a", "payee_b")
+    )
+    bindings = {"pp": "pay"}
+
+    precise = ContractAnalyzer(
+        registry, bindings, lattice="valueset"
+    ).closed_access("pp")
+    assert not precise.balance_write_top
+    assert precise.balance_writes == frozenset(
+        {"pp", "payee_a", "payee_b"}
+    )
+
+    widened = ContractAnalyzer(
+        registry, bindings, lattice="const"
+    ).closed_access("pp")
+    assert widened.balance_write_top

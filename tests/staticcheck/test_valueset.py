@@ -1,0 +1,180 @@
+"""Unit tests for the bounded value-set slot domain.
+
+Covers canonical normalization (:func:`from_values`), join behaviour of
+both lattice policies, the termination argument (finite per-slot join
+chains), constant folding, branch decisions and storage-key
+enumeration.  Soundness of the whole interpreter over this domain is
+property-tested in ``test_soundness_property.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.staticcheck.lattice import TOP, Const
+from repro.staticcheck.valueset import (
+    CONST_LATTICE,
+    MAX_ENUMERATED_KEYS,
+    MAX_FOLD_ELEMENTS,
+    MAX_INTERVAL_COUNT,
+    MAX_SET_SIZE,
+    VALUESET_LATTICE,
+    StridedInterval,
+    ValueSet,
+    elements_of,
+    from_values,
+    get_lattice,
+)
+
+
+class TestFromValues:
+    def test_empty_is_top(self):
+        assert from_values(()) is TOP
+
+    def test_singleton_is_const(self):
+        assert from_values([7]) == Const(7)
+        assert from_values(["key_a", "key_a"]) == Const("key_a")
+
+    def test_small_set(self):
+        value = from_values([1, "payee_b"])
+        assert value == ValueSet(frozenset({1, "payee_b"}))
+
+    def test_set_bound_is_tight(self):
+        at_bound = from_values(range(MAX_SET_SIZE))
+        assert isinstance(at_bound, ValueSet)
+        over = from_values(range(MAX_SET_SIZE + 1))
+        assert isinstance(over, StridedInterval)
+
+    def test_interval_uses_gcd_stride(self):
+        value = from_values(range(0, 40, 4))  # 10 members, stride 4
+        assert value == StridedInterval(lo=0, hi=36, stride=4)
+        assert elements_of(value) == frozenset(range(0, 40, 4))
+
+    def test_mixed_symbols_beyond_set_bound_widen(self):
+        members = [*range(MAX_SET_SIZE), "key_a"]
+        assert from_values(members) is TOP
+
+    def test_interval_count_bound(self):
+        dense = from_values(range(MAX_INTERVAL_COUNT + 1))
+        assert dense is TOP
+        sparse = from_values(range(0, MAX_INTERVAL_COUNT * 2, 2))
+        assert isinstance(sparse, StridedInterval)
+        assert sparse.count == MAX_INTERVAL_COUNT
+
+
+class TestJoin:
+    def test_join_is_exact_while_small(self):
+        joined = VALUESET_LATTICE.join(Const("payee_a"), Const("payee_b"))
+        assert joined == ValueSet(frozenset({"payee_a", "payee_b"}))
+
+    def test_const_lattice_widens_distinct_values(self):
+        assert CONST_LATTICE.join(Const(1), Const(2)) is TOP
+        assert CONST_LATTICE.join(Const(1), Const(1)) == Const(1)
+
+    def test_top_absorbs(self):
+        assert VALUESET_LATTICE.join(TOP, Const(1)) is TOP
+        assert VALUESET_LATTICE.join(Const(1), TOP) is TOP
+
+    def test_join_is_commutative_and_idempotent(self):
+        a = from_values([1, 2, 3])
+        b = from_values([3, 4])
+        assert VALUESET_LATTICE.join(a, b) == VALUESET_LATTICE.join(b, a)
+        assert VALUESET_LATTICE.join(a, a) == a
+
+    def test_join_chain_terminates(self):
+        """Per-slot join chains reach a fixpoint in bounded steps."""
+        value = VALUESET_LATTICE.join(Const(0), Const(1))
+        steps = 0
+        current = value
+        for nxt in range(2, 10_000):
+            joined = VALUESET_LATTICE.join(current, Const(nxt))
+            if joined == current:
+                continue
+            current = joined
+            steps += 1
+            if current is TOP:
+                break
+        assert current is TOP
+        assert steps <= MAX_SET_SIZE + MAX_INTERVAL_COUNT + 2
+
+    def test_join_stacks_slotwise(self):
+        a = (Const(1), Const("k"))
+        b = (Const(2), Const("k"))
+        joined = VALUESET_LATTICE.join_stacks(a, b)
+        assert joined == (ValueSet(frozenset({1, 2})), Const("k"))
+        assert VALUESET_LATTICE.join_stacks(a, (Const(1),)) is None
+        assert VALUESET_LATTICE.join_stacks(None, a) is None
+
+
+class TestTransfer:
+    def test_fold_cartesian_product(self):
+        lhs = from_values([10, 20])
+        rhs = from_values([1, 2])
+        folded = VALUESET_LATTICE.fold(lambda a, b: a + b, lhs, rhs)
+        assert elements_of(folded) == frozenset({11, 12, 21, 22})
+
+    def test_fold_symbol_operand_widens(self):
+        assert (
+            VALUESET_LATTICE.fold(lambda a, b: a + b, Const("k"), Const(1))
+            is TOP
+        )
+
+    def test_fold_product_bound(self):
+        lhs = from_values(range(0, MAX_FOLD_ELEMENTS, 2))
+        rhs = from_values([0, 1, 2])
+        assert len(elements_of(lhs) or ()) * 3 > MAX_FOLD_ELEMENTS
+        assert VALUESET_LATTICE.fold(lambda a, b: a + b, lhs, rhs) is TOP
+
+    def test_iszero(self):
+        assert VALUESET_LATTICE.iszero(Const(0)) == Const(1)
+        assert VALUESET_LATTICE.iszero(Const(5)) == Const(0)
+        mixed = VALUESET_LATTICE.iszero(from_values([0, 3]))
+        assert elements_of(mixed) == frozenset({0, 1})
+        assert VALUESET_LATTICE.iszero(TOP) is TOP
+
+    def test_branch_decision(self):
+        assert VALUESET_LATTICE.branch(Const(0)) is False
+        assert VALUESET_LATTICE.branch(Const(7)) is True
+        assert VALUESET_LATTICE.branch(from_values([1, 2])) is True
+        assert VALUESET_LATTICE.branch(from_values([0, 1])) is None
+        assert VALUESET_LATTICE.branch(TOP) is None
+
+
+class TestEnumerateKeys:
+    def test_const_resolves_under_both_lattices(self):
+        for lattice in (CONST_LATTICE, VALUESET_LATTICE):
+            assert lattice.enumerate_keys(Const("slot7")) == ("slot7",)
+
+    def test_sets_resolve_only_under_valueset(self):
+        routed = from_values(["payee_a", "payee_b"])
+        assert VALUESET_LATTICE.enumerate_keys(routed) == (
+            "payee_a", "payee_b",
+        )
+        assert CONST_LATTICE.enumerate_keys(routed) is None
+
+    def test_short_intervals_enumerate(self):
+        interval = from_values(range(0, MAX_ENUMERATED_KEYS * 4, 4))
+        assert isinstance(interval, StridedInterval)
+        keys = VALUESET_LATTICE.enumerate_keys(interval)
+        assert keys == tuple(
+            str(v) for v in range(0, MAX_ENUMERATED_KEYS * 4, 4)
+        )
+
+    def test_long_intervals_widen(self):
+        interval = from_values(range(MAX_ENUMERATED_KEYS + 1))
+        assert isinstance(interval, StridedInterval)
+        assert VALUESET_LATTICE.enumerate_keys(interval) is None
+
+    def test_top_widens(self):
+        assert VALUESET_LATTICE.enumerate_keys(TOP) is None
+
+
+class TestRegistry:
+    def test_get_lattice_by_name_and_passthrough(self):
+        assert get_lattice("const") is CONST_LATTICE
+        assert get_lattice("valueset") is VALUESET_LATTICE
+        assert get_lattice(VALUESET_LATTICE) is VALUESET_LATTICE
+
+    def test_get_lattice_unknown(self):
+        with pytest.raises(ValueError, match="unknown lattice"):
+            get_lattice("octagon")
