@@ -14,6 +14,8 @@ Run with::
 from __future__ import annotations
 
 import json
+import resource
+import sys
 import time
 from functools import lru_cache
 from pathlib import Path
@@ -58,6 +60,17 @@ def write_output(name: str, text: str) -> Path:
     return path
 
 
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS — normalise
+    so snapshot consumers never have to care which CI runner produced
+    the file.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
 def write_metrics_snapshot(
     name: str, registry: obs.MetricsRegistry | None = None
 ) -> Path:
@@ -68,11 +81,12 @@ def write_metrics_snapshot(
     registry around the bench body so every bench can emit the
     instrumentation counters alongside its timing output.
 
-    The file is deterministic apart from the single ``captured_at``
-    field: keys are sorted, the chains are seeded, and the metrics are
-    reduced with :func:`repro.obs.regress.deterministic_metrics` (real
-    wall-clock histograms keep only their observation counts), so two
-    runs of the same bench diff clean except for the timestamp line.
+    The file is deterministic apart from the ``captured_at`` and
+    ``peak_rss_bytes`` fields: keys are sorted, the chains are seeded,
+    and the metrics are reduced with
+    :func:`repro.obs.regress.deterministic_metrics` (real wall-clock
+    histograms keep only their observation counts), so two runs of the
+    same bench diff clean except for the timestamp and memory lines.
     """
     from repro.obs.regress import deterministic_metrics
 
@@ -82,6 +96,7 @@ def write_metrics_snapshot(
     payload = {
         "bench": name,
         "captured_at": time.time(),
+        "peak_rss_bytes": peak_rss_bytes(),
         "metrics": deterministic_metrics(registry.snapshot()),
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -125,6 +125,41 @@ def _parallel_kwargs(args: argparse.Namespace) -> dict:
     return {"backend": backend, "jobs": jobs, "chunk_size": chunk_size}
 
 
+def _add_sampling_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--rate", default="1/1", metavar="K/N",
+        help="head-based trace sampling rate, e.g. 1/100 (default: "
+             "1/1, trace everything; counters stay exact either way)",
+    )
+    parser.add_argument(
+        "--policy", default="exact", choices=("exact", "sketch"),
+        help="histogram policy: exact sample retention or "
+             "bounded-memory sketches (default: exact)",
+    )
+
+
+def _sampling_components(args: argparse.Namespace):
+    """(rate, registry, lifecycle tracer) from --rate/--policy.
+
+    Bad values raise :class:`CLIError` (exit 2), matching the rest of
+    the argument validation.
+    """
+    from repro.obs.lifecycle import LifecycleTracer
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.sampling import SampledLifecycleTracer, parse_rate
+
+    try:
+        rate = parse_rate(args.rate)
+        registry = MetricsRegistry(policy=args.policy)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    if rate.is_full:
+        life: LifecycleTracer = LifecycleTracer(registry=registry)
+    else:
+        life = SampledLifecycleTracer(rate=rate, registry=registry)
+    return rate, registry, life
+
+
 def _generate(args: argparse.Namespace):
     profile = _resolve_profile(args.chain)
     return generate_chain(
@@ -615,6 +650,13 @@ def cmd_timeline(args: argparse.Namespace) -> int:
                 {"traceEvents": chrome_trace_events(events),
                  "displayTimeUnit": "ms"},
             ))
+    if not rows:
+        print(
+            "(no executable transactions in the replayed blocks — "
+            "empty timeline; try more --blocks or a larger --scale)",
+            file=info,
+        )
+        return 0
     print(render_table(
         ["block", "txs", "measured R", "Eq.1 R", "Eq.2 bound",
          "crit path", "util"],
@@ -737,8 +779,9 @@ def cmd_lifecycle(args: argparse.Namespace) -> int:
     profile = _resolve_profile(args.chain)
     if args.top < 1:
         raise CLIError("--top must be at least 1")
+    rate, registry, life = _sampling_components(args)
     try:
-        with obs.instrumented() as state:
+        with obs.instrumented(registry=registry, lifecycle=life) as state:
             result = run_lifecycle(
                 profile,
                 blocks=args.blocks,
@@ -757,9 +800,21 @@ def cmd_lifecycle(args: argparse.Namespace) -> int:
         f"{result.committed} committed, {result.dropped} dropped "
         f"over {result.blocks} block(s)"
     )
+    if not rate.is_full:
+        print(
+            f"(head-based sampling at {rate}: latency detail covers "
+            f"{len(result.traces)} sampled trace(s); stage counters "
+            "remain exact)"
+        )
     breakdown = result.breakdown()
     if not breakdown:
-        print("(no traces recorded)")
+        if not rate.is_full:
+            print(
+                f"(no traces sampled at rate {rate} — try a coarser "
+                "rate or more blocks; counters are still exact)"
+            )
+        else:
+            print("(no traces recorded)")
         return 0
     shares = stage_shares(breakdown)
     print()
@@ -785,14 +840,21 @@ def cmd_lifecycle(args: argparse.Namespace) -> int:
         title="share of total traced latency",
     ))
     print()
-    print(f"slowest {args.top} trace(s):")
-    for trace in slowest_traces(result.traces, limit=args.top):
+    slowest = slowest_traces(result.traces, limit=args.top)
+    if slowest:
+        print(f"slowest {args.top} trace(s):")
+        for trace in slowest:
+            print(
+                f"  {trace.trace_id}  total {trace.total_latency:.3f}s "
+                f"({trace.outcome})"
+            )
+            for stage, latency in trace.stage_latencies():
+                print(f"    {stage:<12} +{latency:.3f}s")
+    else:
         print(
-            f"  {trace.trace_id}  total {trace.total_latency:.3f}s "
-            f"({trace.outcome})"
+            "(no closed traces to drill into — every traced "
+            "transaction is still in flight)"
         )
-        for stage, latency in trace.stage_latencies():
-            print(f"    {stage:<12} +{latency:.3f}s")
     events = state.recorder.events()
     gantt = render_gantt(
         events, title=f"executor lanes ({args.executor})"
@@ -838,6 +900,114 @@ def cmd_lifecycle(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
+    return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Stream the pipeline through the sliding-window SLO monitor.
+
+    Runs the same seeded pipeline as ``lifecycle`` but watches it live:
+    after each block the monitor folds a :class:`BlockSample` into its
+    ring buffer and (unless ``--once``) re-renders the windowed
+    dashboard — abort rate, sampled stage percentiles, lane
+    utilization, mempool depth, and block wall-clock percentiles.
+    ``--once`` prints only the final window (the CI snapshot mode);
+    ``--snapshot-out`` writes the aggregate + rule verdicts as JSON.
+
+    Exit status: 0 when no *hard* rule breached, 1 on a hard breach
+    (only ``--max-abort-rate`` installs one; the wall-clock gate from
+    ``--wall-p95`` is always advisory), 2 on bad arguments.
+    """
+    from repro import obs
+    from repro.obs.lifecycle_run import run_lifecycle
+    from repro.obs.monitor import (
+        StreamingMonitor,
+        default_rules,
+        monitor_snapshot,
+        render_monitor,
+    )
+
+    profile = _resolve_profile(args.chain)
+    rate, registry, life = _sampling_components(args)
+    if args.window < 1:
+        raise CLIError("--window must be at least 1")
+    if args.max_abort_rate is not None and args.max_abort_rate < 0:
+        raise CLIError("--max-abort-rate must be non-negative")
+    if args.wall_p95 is not None and args.wall_p95 <= 0:
+        raise CLIError("--wall-p95 must be positive")
+    rules = default_rules(
+        max_abort_rate=args.max_abort_rate,
+        wall_p95_budget=args.wall_p95,
+    )
+    monitor = StreamingMonitor(
+        window=args.window, rules=rules, registry=registry
+    )
+    live = not args.once
+
+    def on_block(sample) -> None:
+        aggregate = monitor.observe_block(sample)
+        if live:
+            print(render_monitor(
+                aggregate,
+                monitor.evaluate(aggregate),
+                title=f"{args.chain} block {sample.height}",
+            ))
+            print()
+
+    try:
+        with obs.instrumented(registry=registry, lifecycle=life):
+            run_lifecycle(
+                profile,
+                blocks=args.blocks,
+                seed=args.seed,
+                cores=args.cores,
+                executor=args.executor,
+                scale=args.scale,
+                nodes=args.nodes,
+                mempool_weight=args.mempool_weight,
+                on_block=on_block,
+            )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+
+    aggregate = monitor.aggregate()
+    results = monitor.evaluate(aggregate)
+    if monitor.blocks_seen == 0:
+        print(
+            "(no blocks produced transactions — nothing to monitor; "
+            "try more --blocks or a larger --scale)"
+        )
+        return 0
+    if not live:
+        print(render_monitor(
+            aggregate, results,
+            title=f"{args.chain} / {args.executor} (rate {rate}, "
+                  f"{args.policy} policy)",
+        ))
+    if args.snapshot_out:
+        import json
+
+        try:
+            with open(args.snapshot_out, "w", encoding="utf-8") as fh:
+                json.dump(
+                    monitor_snapshot(aggregate, results), fh, indent=2
+                )
+                fh.write("\n")
+        except OSError as exc:
+            raise CLIError(
+                f"cannot write monitor snapshot: {exc}"
+            ) from None
+        print(f"wrote monitor snapshot to {args.snapshot_out}")
+    breaches = monitor.hard_breaches(results)
+    if breaches:
+        for breach in breaches:
+            print(
+                f"SLO BREACH: {breach.rule.name}: "
+                f"{breach.rule.metric}={breach.value:.4g} violates "
+                f"{breach.rule.op} {breach.rule.threshold:g}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -1168,8 +1338,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="",
         help="write a Chrome trace (execution + lifecycle flows) here",
     )
+    _add_sampling_args(sub)
     _add_parallel_args(sub)
     sub.set_defaults(func=cmd_lifecycle)
+
+    sub = subparsers.add_parser(
+        "monitor",
+        help="stream the pipeline through a sliding-window SLO "
+             "monitor (abort rate, stage percentiles, lane "
+             "utilization, mempool depth)",
+    )
+    sub.add_argument(
+        "--chain", required=True, metavar="NAME",
+        help=f"which blockchain profile to run (one of: {known})",
+    )
+    sub.add_argument(
+        "--executor", default="dag", choices=_EXEC_CHOICES,
+        help="execution engine for the commit stage (default: dag)",
+    )
+    sub.add_argument("--blocks", type=int, default=8,
+                     help="number of blocks to run")
+    sub.add_argument("--seed", type=int, default=0,
+                     help="determinism seed")
+    sub.add_argument("--scale", type=float, default=1.0,
+                     help="transaction-volume multiplier")
+    sub.add_argument("--cores", type=int, default=4,
+                     help="simulated cores for the executor")
+    sub.add_argument("--nodes", type=int, default=24,
+                     help="gossip topology size")
+    sub.add_argument(
+        "--mempool-weight", type=int, default=None, metavar="W",
+        help="mempool capacity; small values force evictions "
+             "(default: unbounded)",
+    )
+    sub.add_argument(
+        "--window", type=int, default=8, metavar="BLOCKS",
+        help="sliding-window size in blocks (default: 8)",
+    )
+    sub.add_argument(
+        "--once", action="store_true",
+        help="print only the final window instead of re-rendering "
+             "after every block (CI snapshot mode)",
+    )
+    sub.add_argument(
+        "--max-abort-rate", type=float, default=None, metavar="FRAC",
+        help="hard SLO: fail (exit 1) when the windowed abort rate "
+             "exceeds this fraction",
+    )
+    sub.add_argument(
+        "--wall-p95", type=float, default=None, metavar="SECONDS",
+        help="advisory SLO: report (never fail) when the windowed "
+             "block wall-clock p95 exceeds this many real seconds",
+    )
+    sub.add_argument(
+        "--snapshot-out", default="", metavar="PATH",
+        help="write the final window aggregate + rule verdicts as "
+             "JSON (CI artifact)",
+    )
+    _add_sampling_args(sub)
+    sub.set_defaults(func=cmd_monitor)
 
     sub = subparsers.add_parser(
         "regress",

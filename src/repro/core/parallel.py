@@ -274,12 +274,26 @@ def _worker_init() -> None:
 
 
 def _run_chunk(
-    data_model: str, chunk: Sequence[BlockInput], record_obs: bool
+    data_model: str, chunk: Sequence[BlockInput],
+    record_obs: bool | str
 ) -> ChunkResult:
-    """Analyze a chunk, optionally under a private worker registry."""
+    """Analyze a chunk, optionally under a private worker registry.
+
+    ``record_obs`` is falsy (no worker-side recording) or the parent
+    registry's *policy string* (``"exact"`` / ``"sketch"``): the worker
+    builds its private registry under the same policy, so a
+    sketch-policy parent merges sketch dumps instead of re-inflating
+    raw observations.  Plain ``True`` keeps the historical meaning
+    (exact policy).
+    """
+    from repro.obs.metrics import MetricsRegistry
+
     worker_id = os.getpid()
     if record_obs and not obs.get_registry().enabled:
-        with obs.instrumented() as state:
+        policy = record_obs if isinstance(record_obs, str) else "exact"
+        with obs.instrumented(
+            registry=MetricsRegistry(policy=policy)
+        ) as state:
             records, elapsed = analyze_chunk(data_model, chunk)
         dump = state.registry.dump()
         return ChunkResult(records, elapsed, worker_id, dump)
@@ -288,7 +302,7 @@ def _run_chunk(
 
 
 def _analyze_chunk_by_range(
-    start: int, stop: int, record_obs: bool = False
+    start: int, stop: int, record_obs: bool | str = False
 ) -> ChunkResult:
     """Fork-path worker entry: slice the inherited inputs by index."""
     assert _FORK_INPUTS is not None and _FORK_MODEL is not None
@@ -296,7 +310,8 @@ def _analyze_chunk_by_range(
 
 
 def _analyze_chunk_explicit(
-    data_model: str, chunk: Sequence[BlockInput], record_obs: bool = False
+    data_model: str, chunk: Sequence[BlockInput],
+    record_obs: bool | str = False
 ) -> ChunkResult:
     """Spawn-path / thread-pool worker entry: chunk shipped explicitly."""
     return _run_chunk(data_model, chunk, record_obs)
@@ -378,8 +393,13 @@ def _run_process_pool(
 
     # Workers start with obs uninstalled (_worker_init); when the parent
     # is instrumented, ask each chunk to record into a private worker
-    # registry whose dump is merged back at join.
-    record_obs = obs.get_registry().enabled
+    # registry whose dump is merged back at join.  The parent's policy
+    # string rides along so sketch-policy sweeps stay bounded-memory on
+    # both sides of the pool.
+    parent_registry = obs.get_registry()
+    record_obs: bool | str = (
+        parent_registry.policy if parent_registry.enabled else False
+    )
 
     if fork_sharing:
         _FORK_INPUTS, _FORK_MODEL = inputs, data_model

@@ -484,13 +484,19 @@ def _replay_chunk(
     chunk: Sequence[ReplayBlock],
     engines: Sequence[str],
     cores: int,
-    record_obs: bool,
+    record_obs: bool | str,
 ) -> ReplayChunkResult:
+    # ``record_obs`` is falsy or the parent registry's policy string
+    # ("exact"/"sketch"); plain True keeps the historical exact policy.
     worker_id = (
         os.getpid() if threading.current_thread() is threading.main_thread()
         else threading.get_ident()
     )
-    registry = MetricsRegistry() if record_obs else NOOP_REGISTRY
+    if record_obs:
+        policy = record_obs if isinstance(record_obs, str) else "exact"
+        registry = MetricsRegistry(policy=policy)
+    else:
+        registry = NOOP_REGISTRY
     all_rows: list[EventRow] = []
     records: list[BlockReplay] = []
     started = time.perf_counter()
@@ -538,7 +544,7 @@ _SHM_CACHE: dict[str, tuple] = {}
 
 
 def _replay_chunk_by_range(
-    start: int, stop: int, record_obs: bool = False
+    start: int, stop: int, record_obs: bool | str = False
 ) -> ReplayChunkResult:
     assert _FORK_CONTEXT is not None
     data_model, inputs, engines, cores = _FORK_CONTEXT
@@ -585,7 +591,7 @@ def _load_shm_context(name: str) -> tuple:
 
 
 def _replay_chunk_from_shm(
-    name: str, start: int, stop: int, record_obs: bool = False
+    name: str, start: int, stop: int, record_obs: bool | str = False
 ) -> ReplayChunkResult:
     data_model, inputs, engines, cores = _load_shm_context(name)
     return _replay_chunk(
@@ -598,7 +604,7 @@ def _replay_chunk_explicit(
     chunk: Sequence[ReplayBlock],
     engines: Sequence[str],
     cores: int,
-    record_obs: bool = False,
+    record_obs: bool | str = False,
 ) -> ReplayChunkResult:
     return _replay_chunk(data_model, chunk, engines, cores, record_obs)
 
@@ -663,7 +669,7 @@ def _run_replay_process_pool(
     cores: int,
     bounds: list[tuple[int, int]],
     jobs: int,
-    record_obs: bool,
+    record_obs: bool | str,
 ) -> list[BlockReplay]:
     """Fan chunks over a process pool: fork globals, else shared memory."""
     global _FORK_CONTEXT
@@ -749,7 +755,7 @@ def _run_replay_thread_pool(
     cores: int,
     bounds: list[tuple[int, int]],
     jobs: int,
-    record_obs: bool,
+    record_obs: bool | str,
 ) -> list[BlockReplay]:
     with ThreadPoolExecutor(max_workers=jobs) as pool:
         futures = [
@@ -807,7 +813,12 @@ def replay_chain(
     chunk_size = validate_chunk_size(
         chunk_size, num_blocks=len(inputs), jobs=jobs
     )
-    record_obs = obs.enabled()
+    # Carry the parent registry's histogram policy to the workers so a
+    # sketch-policy sweep stays bounded-memory end to end.
+    _parent_registry = obs.get_registry()
+    record_obs: bool | str = (
+        _parent_registry.policy if _parent_registry.enabled else False
+    )
 
     bounds = chunk_bounds(len(inputs), chunk_size)
     with obs.trace_span(

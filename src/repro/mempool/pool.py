@@ -91,6 +91,7 @@ class Mempool(Generic[PayloadT]):
     _entries: dict[str, PoolEntry[PayloadT]] = field(default_factory=dict)
     _by_replacement: dict[str, str] = field(default_factory=dict)
     _recent_rates: list[float] = field(default_factory=list)
+    _total_weight: int = 0
 
     def __post_init__(self) -> None:
         if self.max_weight <= 0:
@@ -106,7 +107,11 @@ class Mempool(Generic[PayloadT]):
 
     @property
     def total_weight(self) -> int:
-        return sum(entry.weight for entry in self._entries.values())
+        # Maintained incrementally on admission/removal: admission and
+        # eviction consult this on every submit, and re-summing the
+        # whole pool there is quadratic in pool size (it dominated
+        # large lifecycle sweeps before it was made O(1)).
+        return self._total_weight
 
     # -- admission -----------------------------------------------------------
 
@@ -143,6 +148,7 @@ class Mempool(Generic[PayloadT]):
                     incumbent_hash, "dropped", reason="replaced"
                 )
         self._entries[entry.tx_hash] = entry
+        self._total_weight += entry.weight
         if entry.replacement_key:
             self._by_replacement[entry.replacement_key] = entry.tx_hash
         life = obs.lifecycle()
@@ -156,7 +162,10 @@ class Mempool(Generic[PayloadT]):
 
     def _remove(self, tx_hash: str) -> PoolEntry[PayloadT] | None:
         entry = self._entries.pop(tx_hash, None)
-        if entry and entry.replacement_key:
+        if entry is None:
+            return None
+        self._total_weight -= entry.weight
+        if entry.replacement_key:
             if self._by_replacement.get(entry.replacement_key) == tx_hash:
                 del self._by_replacement[entry.replacement_key]
         return entry

@@ -60,6 +60,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NoopMetricsRegistry,
 )
+from repro.obs.sampling import (
+    SampledLifecycleTracer,
+    SampleRate,
+    parse_rate,
+    sample_decision,
+)
+from repro.obs.sketch import SketchHistogram
 from repro.obs.timeline import (
     NOOP_RECORDER,
     FlightRecorder,
@@ -80,12 +87,17 @@ __all__ = [
     "NoopMetricsRegistry",
     "NoopTracer",
     "ObservabilityState",
+    "SampleRate",
+    "SampledLifecycleTracer",
+    "SketchHistogram",
     "Span",
     "StitchedTrace",
     "TimelineEvent",
     "TraceContext",
     "Tracer",
     "counter",
+    "parse_rate",
+    "sample_decision",
     "enabled",
     "gauge",
     "get_recorder",
@@ -128,12 +140,35 @@ _state: ObservabilityState = _NOOP_STATE
 # global.  ``_current()`` is the single resolution point every dispatch
 # helper goes through; the common case (no override) is one attribute
 # probe on a thread-local, so the no-op fast path stays flat.
-_local = threading.local()
+class _LocalOverride(threading.local):
+    # Class-level default: threads that never set an override resolve
+    # ``state`` through the class attribute instead of raising (and
+    # catching) AttributeError inside getattr — that hidden exception
+    # costs several hundred nanoseconds per dispatch, which is the
+    # difference between a free and a measurable disabled guard.
+    state: "ObservabilityState | None" = None
+
+
+_local = _LocalOverride()
+
+# Number of scoped() overrides currently active across all threads.
+# While zero (the overwhelmingly common case — overrides only exist
+# inside thread-backend replay chunks) dispatch skips the thread-local
+# probe entirely: reading one module global is ~3x cheaper, and the
+# disabled-pipeline guard budget (benchmarks/bench_obs_sampling.py) is
+# priced in tens of nanoseconds.  Reads are deliberately lock-free: a
+# thread inside scoped() always observes its own increment, so it can
+# never miss its override; other threads at worst probe needlessly.
+_override_count = 0
+_override_lock = threading.Lock()
 
 
 def _current() -> ObservabilityState:
-    override = getattr(_local, "state", None)
-    return override if override is not None else _state
+    if _override_count:
+        override = _local.state
+        if override is not None:
+            return override
+    return _state
 
 
 def enabled() -> bool:
@@ -159,7 +194,14 @@ def get_recorder() -> FlightRecorder:
 
 def lifecycle() -> LifecycleTracer:
     """The current lifecycle tracer (:data:`NOOP_LIFECYCLE` when off)."""
-    return _current().lifecycle
+    # Inlined _current(): this is the guard every lifecycle call site
+    # runs per transaction hop, so one avoided function call matters at
+    # the disabled-overhead budget's scale.
+    if _override_count:
+        override = _local.state
+        if override is not None:
+            return override.lifecycle
+    return _state.lifecycle
 
 
 @contextmanager
@@ -172,12 +214,17 @@ def scoped(state: ObservabilityState) -> Iterator[ObservabilityState]:
     without interleaving events.  Scopes nest; the previous override
     (or none) is restored on exit.
     """
-    previous = getattr(_local, "state", None)
+    global _override_count
+    previous = _local.state
+    with _override_lock:
+        _override_count += 1
     _local.state = state
     try:
         yield state
     finally:
         _local.state = previous
+        with _override_lock:
+            _override_count -= 1
 
 
 def install(

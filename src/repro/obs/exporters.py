@@ -170,23 +170,36 @@ def _prom_labels(labels: tuple[tuple[str, str], ...],
     return f"{{{rendered}}}"
 
 
-def render_prometheus(registry: MetricsRegistry) -> str:
+def render_prometheus(
+    registry: MetricsRegistry, *, legacy_counter_names: bool = False
+) -> str:
     """Render a registry in the Prometheus text exposition format.
 
-    Histograms are exported as summaries: ``<name>{quantile="0.5"}``
-    lines plus ``_sum`` and ``_count``.  A histogram with no
-    observations renders only ``_sum``/``_count`` — quantiles of an
-    empty distribution are undefined, and fabricating zeros would read
-    as measurements.
+    Counters follow the Prometheus naming convention: a ``_total``
+    suffix is appended unless the metric name already carries one.
+    Pass ``legacy_counter_names=True`` to additionally emit each
+    counter under its old unsuffixed name (a migration alias for
+    scrape configs written against earlier releases).
+
+    Histograms (exact or sketch — both share the ``summary()`` API)
+    are exported as summaries: ``<name>{quantile="0.5"}`` lines plus
+    ``_sum`` and ``_count``.  A histogram with no observations renders
+    only ``_sum``/``_count`` — quantiles of an empty distribution are
+    undefined, and fabricating zeros would read as measurements.
     """
     lines: list[str] = []
     for metric in registry.iter_metrics():
         name = _prom_name(metric.name)
         if isinstance(metric, Counter):
-            lines.append(f"# TYPE {name} counter")
-            lines.append(
-                f"{name}{_prom_labels(metric.labels)} {metric.value:g}"
+            total_name = (
+                name if name.endswith("_total") else f"{name}_total"
             )
+            labels = _prom_labels(metric.labels)
+            lines.append(f"# TYPE {total_name} counter")
+            lines.append(f"{total_name}{labels} {metric.value:g}")
+            if legacy_counter_names and total_name != name:
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name}{labels} {metric.value:g}")
         elif isinstance(metric, Gauge):
             lines.append(f"# TYPE {name} gauge")
             lines.append(

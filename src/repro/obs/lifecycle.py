@@ -46,7 +46,7 @@ a caller-supplied cost-unit-to-seconds conversion, closing the trace.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
@@ -71,6 +71,12 @@ STAGES = (
     SCHEDULED, ABORTED, RETRIED, COMMITTED, DROPPED,
 )
 TERMINAL_STAGES = (COMMITTED, DROPPED)
+
+# A transaction spanning several shard committees (a Zilliqa-style
+# cross-shard state sync) yields per-shard sub-traces named
+# ``<tx_hash>#shard=<k>``; join_shard_traces folds them back into one
+# stitched trace per transaction.
+SHARD_TRACE_SEPARATOR = "#"
 
 
 @dataclass(frozen=True)
@@ -232,7 +238,8 @@ class LifecycleTracer:
 
     # -- metrics --------------------------------------------------------------
 
-    def _observe(self, stage: str, latency: float) -> None:
+    def _observe(self, stage: str, latency: float,
+                 key: str | None = None) -> None:
         counter = self._events_counter
         if counter is None:
             return
@@ -243,7 +250,9 @@ class LifecycleTracer:
                 f"lifecycle.stage.{stage}"
             )
             self._stage_histograms[stage] = histogram
-        histogram.observe(latency)
+        # The trace hash keys the sketch reservoir (ignored by exact
+        # histograms), keeping reservoir contents chunking-independent.
+        histogram.observe(latency, key)
 
     def _count(self, name: str, **labels: object) -> None:
         registry = self._registry
@@ -275,7 +284,7 @@ class LifecycleTracer:
             )
             self._open[tx_hash] = [event]
         self._count("lifecycle.opened")
-        self._observe(ADMITTED, 0.0)
+        self._observe(ADMITTED, 0.0, tx_hash)
         return TraceContext(trace_id=tx_hash, span_id=span_id)
 
     def record(self, tx_hash: str, stage: str, *,
@@ -321,7 +330,7 @@ class LifecycleTracer:
         if events is None:
             self._count(counter)
             return None
-        self._observe(stage, latency)
+        self._observe(stage, latency, tx_hash)
         if stage in TERMINAL_STAGES:
             self._count("lifecycle.closed", outcome=stage)
         return TraceContext(
@@ -360,6 +369,17 @@ class LifecycleTracer:
                 for tx_hash, events in self._open.items()
             )
         return out
+
+    def closed_traces(self) -> list[StitchedTrace]:
+        """Closed traces in completion order.
+
+        The dict preserves insertion (= completion) order, so callers
+        that remember a previous :attr:`closed_count` can slice this
+        list to get exactly the traces sealed since — the streaming
+        monitor uses that to attribute closures to block windows.
+        """
+        with self._lock:
+            return list(self._closed.values())
 
     @property
     def open_count(self) -> int:
@@ -453,6 +473,51 @@ def stitch_execution_events(
         if context is not None:
             stitched += 1
     return stitched
+
+
+# -- cross-shard stitching ----------------------------------------------------
+
+
+def shard_subtrace_id(tx_hash: str, shard: int) -> str:
+    """The trace id of *tx_hash*'s sub-trace on committee *shard*."""
+    return f"{tx_hash}{SHARD_TRACE_SEPARATOR}shard={shard}"
+
+
+def join_shard_traces(
+    traces: Iterable[StitchedTrace],
+) -> list[StitchedTrace]:
+    """Fold per-shard sub-traces into one trace per transaction.
+
+    Sub-traces are named ``<tx_hash>#shard=<k>`` (see
+    :func:`shard_subtrace_id`).  All parts sharing a base id merge into
+    a single stitched trace: events are interleaved by timestamp (span
+    id breaks ties, so the ordering is total and deterministic) and
+    re-labelled with the base trace id — each event keeps its ``shard``
+    attribute, so the joined trace still shows *where* each hop ran.
+    Traces without a separator pass through untouched, making this an
+    identity (and near-free) transform for unsharded chains — the
+    regress baseline never sees a difference.
+    """
+    groups: dict[str, list[StitchedTrace]] = {}
+    for trace in traces:
+        base = trace.trace_id.split(SHARD_TRACE_SEPARATOR, 1)[0]
+        groups.setdefault(base, []).append(trace)
+    out: list[StitchedTrace] = []
+    for base, parts in groups.items():
+        if len(parts) == 1 and parts[0].trace_id == base:
+            out.append(parts[0])
+            continue
+        events = sorted(
+            (event for part in parts for event in part.events),
+            key=lambda event: (event.at, event.span_id),
+        )
+        out.append(StitchedTrace(
+            trace_id=base,
+            events=tuple(
+                replace(event, trace_id=base) for event in events
+            ),
+        ))
+    return out
 
 
 # -- aggregation --------------------------------------------------------------
@@ -553,6 +618,7 @@ __all__ = [
     "RELAYED",
     "RETRIED",
     "SCHEDULED",
+    "SHARD_TRACE_SEPARATOR",
     "STAGES",
     "TERMINAL_STAGES",
     "LifecycleEvent",
@@ -561,6 +627,8 @@ __all__ = [
     "StageStats",
     "StitchedTrace",
     "TraceContext",
+    "join_shard_traces",
+    "shard_subtrace_id",
     "slowest_traces",
     "stage_breakdown",
     "stage_shares",

@@ -38,17 +38,23 @@ from ``repro.obs.__init__``.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
+from typing import Callable
 
 from repro import obs
 from repro.mempool.pool import Mempool, PoolEntry
 from repro.network.gossip import GossipNetwork
+from repro.obs.critical_path import profile_events
 from repro.obs.lifecycle import (
     StageStats,
     StitchedTrace,
+    join_shard_traces,
+    shard_subtrace_id,
     stage_breakdown,
     stitch_execution_events,
 )
+from repro.obs.monitor import BlockSample
 from repro.obs.regress import (
     chain_task_blocks,
     make_executor,
@@ -108,6 +114,7 @@ def run_lifecycle(
     mempool_weight: int | None = None,
     cost_unit_seconds: float = DEFAULT_COST_UNIT_SECONDS,
     validation_delay: float = DEFAULT_VALIDATION_DELAY,
+    on_block: Callable[[BlockSample], None] | None = None,
 ) -> LifecycleRunResult:
     """Run *profile*'s seeded workload through the full pipeline.
 
@@ -124,6 +131,10 @@ def run_lifecycle(
             evict, an explicit small cap forces ``dropped`` traces.
         cost_unit_seconds: simulated seconds per execution cost unit.
         validation_delay: per-hop block validation delay (seconds).
+        on_block: optional streaming hook — called with one
+            :class:`~repro.obs.monitor.BlockSample` after each executed
+            block, so a :class:`~repro.obs.monitor.StreamingMonitor`
+            can watch the run without holding the whole trace.
 
     Raises:
         ValueError: unknown executor name or non-positive parameters
@@ -166,6 +177,8 @@ def run_lifecycle(
 
     admitted = 0
     executed_hashes: set[str] = set()
+    closed_seen = 0
+    shard_subs: dict[str, tuple[str, ...]] = {}
     with obs.trace_span(
         "lifecycle.run", chain=profile.name, executor=executor
     ):
@@ -174,6 +187,8 @@ def run_lifecycle(
         ):
             if not tasks:
                 continue
+            block_started = time.perf_counter()
+            sim_started = life.clock
             # 1. Admission: transactions arrive spread across the block
             # interval, each minting its lifecycle root span.
             step = profile.block_interval / max(1, len(tasks))
@@ -199,7 +214,12 @@ def run_lifecycle(
             )
             life.advance(result.coverage_time(1.0))
 
-            # 3. Sharded profiles dispatch to committees.
+            # 3. Sharded profiles dispatch to committees.  A transaction
+            # whose write set touches state homed on *other* shards
+            # spans those committees (Zilliqa-style inter-committee
+            # state sync): each extra shard gets a ``tx#shard=k``
+            # sub-trace, joined back into one trace at the end of the
+            # run (join_shard_traces) — the PR 5 cross-shard open item.
             if profile.num_shards > 0:
                 from repro.sharding.committee import shard_for_address
 
@@ -208,6 +228,32 @@ def run_lifecycle(
                         entry.tx_hash, profile.num_shards
                     )
                     life.record(entry.tx_hash, "assigned", shard=shard)
+                    task = entry.payload
+                    if task is None or entry.tx_hash in shard_subs:
+                        continue
+                    spans = tuple(sorted(
+                        {
+                            shard_for_address(
+                                location, profile.num_shards
+                            )
+                            for location in task.writes
+                        } - {shard}
+                    ))
+                    if not spans:
+                        continue
+                    subs = []
+                    for other in spans:
+                        sub = shard_subtrace_id(entry.tx_hash, other)
+                        life.begin(
+                            sub, parent_trace=entry.tx_hash,
+                            shard=other,
+                        )
+                        life.record(
+                            sub, "assigned",
+                            shard=other, home_shard=shard,
+                        )
+                        subs.append(sub)
+                    shard_subs[entry.tx_hash] = tuple(subs)
 
             # 4. Packing + consensus.  The budget spans the whole pool,
             # so every surviving (non-evicted) transaction is included.
@@ -227,6 +273,11 @@ def run_lifecycle(
                     entry.tx_hash, "consensus",
                     block=height, mechanism=mechanism,
                 )
+                for sub in shard_subs.get(entry.tx_hash, ()):
+                    life.record(
+                        sub, "consensus",
+                        block=height, mechanism=mechanism,
+                    )
 
             # 5. Execution replay + stitch.
             packed_hashes = {entry.tx_hash for entry in packed}
@@ -248,7 +299,57 @@ def run_lifecycle(
             )
             life.advance(report.wall_time * cost_unit_seconds)
 
-    traces = tuple(life.traces())
+            # Cross-shard sub-traces close when the home commit's state
+            # delta reaches the remote committees — the parent's commit
+            # time (falls back to the block clock for unsampled txs,
+            # whose sub-traces are not materialised either).
+            for entry in packed:
+                subs = shard_subs.pop(entry.tx_hash, ())
+                if not subs:
+                    continue
+                parent = life.trace(entry.tx_hash)
+                synced_at = (
+                    parent.ended_at
+                    if parent is not None and parent.closed
+                    else life.clock
+                )
+                for sub in subs:
+                    life.close(
+                        sub, "committed", at=synced_at,
+                        sync="state_delta",
+                    )
+
+            if on_block is not None:
+                newly_closed = life.closed_traces()[closed_seen:]
+                closed_seen += len(newly_closed)
+                stage_latencies: dict[str, list[float]] = {}
+                for trace in join_shard_traces(newly_closed):
+                    for stage, stage_wait in trace.stage_latencies():
+                        stage_latencies.setdefault(
+                            stage, []
+                        ).append(stage_wait)
+                block_events = recorder.events(block=height)
+                utilization = (
+                    profile_events(block_events).mean_utilization
+                    if block_events else 0.0
+                )
+                on_block(BlockSample(
+                    height=height,
+                    txs=len(packed),
+                    committed=report.num_tasks,
+                    aborted=report.aborts,
+                    retried=report.reexecuted,
+                    wall_clock_s=time.perf_counter() - block_started,
+                    sim_seconds=life.clock - sim_started,
+                    mempool_depth=len(pool),
+                    lane_utilization=utilization,
+                    stage_latencies={
+                        stage: tuple(values)
+                        for stage, values in stage_latencies.items()
+                    },
+                ))
+
+    traces = tuple(join_shard_traces(life.traces()))
     committed = sum(1 for t in traces if t.outcome == "committed")
     dropped = sum(1 for t in traces if t.outcome == "dropped")
     return LifecycleRunResult(

@@ -1,0 +1,305 @@
+"""Deterministic head-based trace sampling for large sweeps.
+
+At a million transactions, minting a full causal trace per transaction
+(:mod:`repro.obs.lifecycle`) costs O(tx) memory.  Head-based sampling
+keeps the familiar shape — *every* hop of a sampled transaction is
+traced (gossip, committee assignment, packing, consensus, execution) —
+while unsampled transactions cost only a hash and a counter bump.
+
+The sampling decision is a **pure function of the trace id**::
+
+    keep  iff  crc32(trace_id) % out_of < keep
+
+so it is reproducible everywhere the transaction travels: serial,
+thread, and process executors, fork and spawn start methods, and
+re-runs of the same workload all sample the same transactions.  (The
+builtin ``hash`` is salted per interpreter and would break exactly
+this property — ``tests/obs/test_sampling.py`` pins it across pools.)
+Cross-shard sub-traces (``txhash#shard=K``, see
+:func:`repro.obs.lifecycle.join_shard_traces`) inherit the parent's
+decision: the decision hashes only the id up to the ``#`` separator,
+so a sampled transaction is sampled on every shard it spans.
+
+Exactness contract: *rates stay exact while latency detail is
+sampled*.  :class:`SampledLifecycleTracer` bumps a per-stage counter
+(``lifecycle.stage_count.<stage>``) for **all** transactions — sampled
+or not — so abort/commit/drop rates computed from counters are exact;
+only the per-stage latency histograms and stitched traces are limited
+to the sampled subset.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+from zlib import crc32
+
+from repro.obs.lifecycle import (
+    ADMITTED,
+    SHARD_TRACE_SEPARATOR,
+    STAGES,
+    LifecycleTracer,
+    TraceContext,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.obs.metrics import Counter, MetricsRegistry
+
+_RATE_PATTERN = re.compile(r"^\s*(\d+)\s*/\s*(\d+)\s*$")
+
+# Membership testing against the tuple is a linear scan; the sampled
+# fast path validates the stage on every unsampled hop, so use a set.
+_STAGE_SET = frozenset(STAGES)
+
+# The tracer memoises per-trace-id decisions (a dict probe is ~10x
+# cheaper than re-hashing the id on every hop).  The memo is bounded so
+# unsampled transactions stay O(1) memory overall; the cap comfortably
+# covers a block's worth of in-flight ids, which is the reuse window
+# (admission → packing → consensus → execution happen blocks apart at
+# most).  Evicted ids simply re-hash — the decision is pure, so the
+# cache can never change an outcome.
+_DECISION_MEMO_CAP = 65_536
+
+
+@dataclass(frozen=True)
+class SampleRate:
+    """Keep ``keep`` out of every ``out_of`` trace ids."""
+
+    keep: int
+    out_of: int
+
+    def __post_init__(self) -> None:
+        if self.out_of < 1:
+            raise ValueError("sample rate denominator must be >= 1")
+        if not 0 < self.keep <= self.out_of:
+            raise ValueError(
+                "sample rate numerator must be in [1, denominator]; "
+                f"got {self.keep}/{self.out_of}"
+            )
+
+    @property
+    def is_full(self) -> bool:
+        """True when every trace is kept (sampling disabled)."""
+        return self.keep == self.out_of
+
+    @property
+    def fraction(self) -> float:
+        return self.keep / self.out_of
+
+    def __str__(self) -> str:
+        return f"{self.keep}/{self.out_of}"
+
+
+FULL_RATE = SampleRate(1, 1)
+
+
+def parse_rate(text: str) -> SampleRate:
+    """Parse ``"k/n"`` (e.g. ``"1/100"``) into a :class:`SampleRate`.
+
+    Raises ``ValueError`` with a usage-style message on anything else —
+    the CLI maps that to exit code 2.
+    """
+    match = _RATE_PATTERN.match(text)
+    if match is None:
+        raise ValueError(
+            f"invalid sample rate {text!r}; expected K/N, e.g. 1/100"
+        )
+    try:
+        return SampleRate(int(match.group(1)), int(match.group(2)))
+    except ValueError as exc:
+        raise ValueError(f"invalid sample rate {text!r}: {exc}") from exc
+
+
+def sample_decision(trace_id: str, rate: SampleRate) -> bool:
+    """Keep *trace_id*?  Pure, deterministic, process-independent.
+
+    ``crc32`` rather than a cryptographic hash: the decision needs
+    determinism and uniformity modulo small denominators, not collision
+    resistance, and at one hash per transaction hop the ~5x cost gap
+    to ``blake2b`` is what keeps the unsampled fast path inside the
+    enabled-overhead budget (``benchmarks/bench_obs_sampling.py``).
+    """
+    if rate.is_full:
+        return True
+    base = trace_id.split(SHARD_TRACE_SEPARATOR, 1)[0]
+    return crc32(base.encode("utf-8")) % rate.out_of < rate.keep
+
+
+def sample_decisions(
+    trace_ids: Iterable[str], keep: int, out_of: int
+) -> list[bool]:
+    """Vector form with plain-int args — picklable by qualified name,
+    so tests can ``Pool.map`` it under fork *and* spawn."""
+    rate = SampleRate(keep, out_of)
+    return [sample_decision(trace_id, rate) for trace_id in trace_ids]
+
+
+# The context unsampled transactions receive from ``begin``: span id 0
+# marks "not traced" (real spans start at 1), mirroring the noop
+# tracer's shared ``_NOOP_CONTEXT``.  Sharing one instance keeps the
+# unsampled admission path allocation-free — at a million transactions
+# the frozen-dataclass construction alone would dominate the budget.
+UNSAMPLED_CONTEXT = TraceContext(trace_id="", span_id=0)
+
+
+class SampledLifecycleTracer(LifecycleTracer):
+    """A :class:`LifecycleTracer` that traces a deterministic subset.
+
+    Drop-in at every existing call site (mempool, gossip, sharding,
+    consensus, execution stitching): sampled transactions follow the
+    full begin/record/close path; unsampled ones bump
+    ``lifecycle.stage_count.<stage>`` and ``lifecycle.sampled.dropped``
+    and return immediately (``begin`` hands back the shared
+    :data:`UNSAMPLED_CONTEXT` sentinel).  ``lifecycle.stage_count.*``
+    is bumped for *sampled* transactions too, so those counters are
+    exact totals over the whole workload.
+
+    Stage/kept/dropped counts accumulate in plain-int batches and sync
+    into the registry's counters at every flush point — clock movement
+    (:meth:`set_clock` / :meth:`advance`), any trace read
+    (:meth:`trace` / :meth:`traces` / :meth:`closed_traces`), and
+    explicit :meth:`flush_counts`.  Pipeline drivers move the clock at
+    least once per block, so registry counters are exact at every
+    block boundary and after any read; a per-event locked
+    ``Counter.inc`` would cost more than the rest of the unsampled
+    path combined.
+
+    Note: duplicate-``begin`` detection only applies to sampled
+    transactions — unsampled ids keep no state at all (that is the
+    point), so a duplicate unsampled admission is indistinguishable
+    from the first.
+    """
+
+    def __init__(self, rate: SampleRate = FULL_RATE,
+                 registry: "MetricsRegistry | None" = None) -> None:
+        super().__init__(registry)
+        self._rate = rate
+        self._counting = registry is not None and registry.enabled
+        self._stage_counters: dict[str, "Counter"] = {}
+        self._decisions: dict[str, bool] = {}
+        self._pending_counts: dict[str, int] = {}
+        self._pending_kept = 0
+        self._pending_dropped = 0
+
+    @property
+    def rate(self) -> SampleRate:
+        return self._rate
+
+    def sampled(self, trace_id: str) -> bool:
+        return self._decide(trace_id)
+
+    def _decide(self, trace_id: str) -> bool:
+        decisions = self._decisions
+        decision = decisions.get(trace_id)
+        if decision is None:
+            decision = sample_decision(trace_id, self._rate)
+            if len(decisions) >= _DECISION_MEMO_CAP:
+                # Flush wholesale.  One-at-a-time FIFO eviction
+                # (``del d[next(iter(d))]``) is quadratic on CPython —
+                # iteration rescans the tombstones earlier deletes left
+                # behind — and a halving rebuild still costs ~0.6 µs
+                # amortised per miss.  ``clear()`` is C-speed and
+                # in-flight ids simply re-hash once; the decision is
+                # pure, so no outcome can change.
+                decisions.clear()
+            decisions[trace_id] = decision
+        return decision
+
+    def flush_counts(self) -> None:
+        """Sync batched stage/kept/dropped counts into the registry."""
+        if not self._counting:
+            return
+        pending = self._pending_counts
+        if pending:
+            counters = self._stage_counters
+            registry = self._registry
+            for stage, count in pending.items():
+                counter = counters.get(stage)
+                if counter is None:
+                    counter = registry.counter(
+                        f"lifecycle.stage_count.{stage}"
+                    )
+                    counters[stage] = counter
+                counter.inc(count)
+            pending.clear()
+        if self._pending_kept:
+            self._registry.counter("lifecycle.sampled.kept").inc(
+                self._pending_kept
+            )
+            self._pending_kept = 0
+        if self._pending_dropped:
+            self._registry.counter("lifecycle.sampled.dropped").inc(
+                self._pending_dropped
+            )
+            self._pending_dropped = 0
+
+    # Every clock movement and trace read is a flush point, so drivers
+    # and readers always see exact counters without extra calls.
+
+    def set_clock(self, at: float) -> None:
+        self.flush_counts()
+        super().set_clock(at)
+
+    def advance(self, seconds: float) -> float:
+        self.flush_counts()
+        return super().advance(seconds)
+
+    def trace(self, tx_hash: str):
+        self.flush_counts()
+        return super().trace(tx_hash)
+
+    def traces(self):
+        self.flush_counts()
+        return super().traces()
+
+    def closed_traces(self):
+        self.flush_counts()
+        return super().closed_traces()
+
+    def clear(self) -> None:
+        super().clear()
+        self._decisions.clear()
+        self._pending_counts.clear()
+        self._pending_kept = 0
+        self._pending_dropped = 0
+
+    def begin(self, tx_hash: str, *, at: float | None = None,
+              **attrs: object) -> TraceContext:
+        pending = self._pending_counts
+        pending[ADMITTED] = pending.get(ADMITTED, 0) + 1
+        if self._decide(tx_hash):
+            self._pending_kept += 1
+            return super().begin(tx_hash, at=at, **attrs)
+        self._pending_dropped += 1
+        return UNSAMPLED_CONTEXT
+
+    def record(self, tx_hash: str, stage: str, *,
+               at: float | None = None, duration: float = 0.0,
+               **attrs: object) -> TraceContext | None:
+        if stage not in _STAGE_SET:
+            raise ValueError(
+                f"unknown lifecycle stage {stage!r}; expected one of "
+                f"{', '.join(STAGES)}"
+            )
+        pending = self._pending_counts
+        pending[stage] = pending.get(stage, 0) + 1
+        decision = self._decisions.get(tx_hash)
+        if decision is None:
+            decision = self._decide(tx_hash)
+        if not decision:
+            return None
+        return super().record(
+            tx_hash, stage, at=at, duration=duration, **attrs
+        )
+
+
+__all__ = [
+    "FULL_RATE",
+    "UNSAMPLED_CONTEXT",
+    "SampleRate",
+    "SampledLifecycleTracer",
+    "parse_rate",
+    "sample_decision",
+    "sample_decisions",
+]

@@ -1,0 +1,304 @@
+"""Bounded-memory distribution sketches behind the ``Histogram`` API.
+
+The exact :class:`repro.obs.metrics.Histogram` keeps every observation,
+so a million-transaction sweep holds a million floats *per metric*.
+:class:`SketchHistogram` replaces that with two fixed-size structures:
+
+* **Log-linear buckets** (DDSketch-style).  A positive value ``v`` maps
+  to bucket ``ceil(log(v) / log(gamma))`` with
+  ``gamma = (1 + alpha) / (1 - alpha)``; the bucket's representative
+  value ``2 * gamma^i / (gamma + 1)`` is within a *relative* error of
+  ``alpha`` of every value in the bucket.  Negative values use a
+  mirrored store, zeros (and magnitudes below ``ZERO_EPSILON``) a
+  dedicated zero bucket.  Bucket counts are plain integers, so merging
+  two sketches is exact: ingestion over any chunking yields the same
+  bucket table as single-stream ingestion.
+* **A deterministic bottom-k reservoir.**  Each observation carries a
+  priority — the blake2b hash of its caller-supplied ``key`` (the trace
+  hash at lifecycle call sites) or, keyless, its arrival index — and the
+  reservoir keeps the ``reservoir_size`` observations with the smallest
+  priorities.  While ``count <= reservoir_size`` nothing has ever been
+  evicted, so the reservoir *is* the full sample and percentiles are
+  computed exactly (same interpolation as the exact histogram —
+  byte-identical summaries).  Past that point percentiles fall back to
+  a bucket walk.
+
+Accuracy contract (documented tolerance, asserted by
+``tests/obs/test_sketch.py`` and ``benchmarks/bench_obs_sampling.py``):
+
+* ``count``/``sum``/``min``/``max``/``mean`` are always exact.
+* While ``count <= reservoir_size``: percentiles are exact.
+* Once ``count > reservoir_size``: ``percentile(p)`` returns the
+  representative of the bucket holding the rank-``floor(p*(n-1))``
+  order statistic, so it is within relative error ``alpha`` of that
+  order statistic (absolute error ``ZERO_EPSILON`` around zero).  The
+  interpolated exact percentile lies between adjacent order statistics,
+  so the practical tolerance versus an exact histogram is
+  ``2 * alpha`` relative once samples are dense.
+* Merging is chunking-invariant: splitting a stream into chunks,
+  sketching each, and merging reports *identical* percentiles to
+  sketching the whole stream (the hypothesis property in
+  ``tests/obs/test_sketch.py`` asserts equality, not tolerance).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from hashlib import blake2b
+from typing import Mapping
+
+from repro.obs.metrics import Histogram, LabelItems
+
+# Relative-error target of the log-linear buckets.
+DEFAULT_ALPHA = 0.01
+# Observations kept verbatim; below this count percentiles are exact.
+DEFAULT_RESERVOIR_SIZE = 256
+# Magnitudes below this collapse into the zero bucket (bounds the
+# bucket index range; log-linear buckets cannot represent zero).
+ZERO_EPSILON = 1e-12
+
+_PRIORITY_BYTES = 8
+
+
+def reservoir_priority(key: str) -> int:
+    """Deterministic priority of a reservoir key (stable across
+    processes and start methods — unlike the salted builtin ``hash``)."""
+    digest = blake2b(key.encode("utf-8"), digest_size=_PRIORITY_BYTES)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class SketchHistogram(Histogram):
+    """Drop-in ``Histogram`` with O(1)-per-metric memory.
+
+    Construction matches the exact histogram's ``(name, labels)``
+    signature so :meth:`MetricsRegistry._get` can use it as a factory;
+    ``alpha``/``reservoir_size`` are keyword-only tuning knobs.
+    """
+
+    __slots__ = (
+        "_alpha", "_gamma", "_log_gamma", "_buckets", "_neg_buckets",
+        "_zero_count", "_count", "_sum", "_min", "_max",
+        "_reservoir_size", "_reservoir", "_sequence",
+    )
+
+    def __init__(self, name: str, labels: LabelItems = (), *,
+                 alpha: float = DEFAULT_ALPHA,
+                 reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be at least 1")
+        super().__init__(name, labels)
+        self._alpha = alpha
+        self._gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: dict[int, int] = {}
+        self._neg_buckets: dict[int, int] = {}
+        self._zero_count = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._reservoir_size = reservoir_size
+        # Max-heap on priority via negation: the root is the *largest*
+        # priority, i.e. the first entry to evict.
+        self._reservoir: list[tuple[int, float]] = []
+        self._sequence = 0
+
+    # -- configuration ---------------------------------------------------------
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @property
+    def reservoir_size(self) -> int:
+        return self._reservoir_size
+
+    @property
+    def is_exact(self) -> bool:
+        """True while no observation has ever left the reservoir."""
+        return self._count <= self._reservoir_size
+
+    # -- ingestion -------------------------------------------------------------
+
+    def _bucket_index(self, magnitude: float) -> int:
+        return math.ceil(math.log(magnitude) / self._log_gamma)
+
+    def _bucket_value(self, index: int) -> float:
+        return 2.0 * self._gamma ** index / (self._gamma + 1.0)
+
+    def observe(self, value: float, key: str | None = None) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            magnitude = abs(value)
+            if magnitude < ZERO_EPSILON:
+                self._zero_count += 1
+            elif value > 0:
+                index = self._bucket_index(magnitude)
+                self._buckets[index] = self._buckets.get(index, 0) + 1
+            else:
+                index = self._bucket_index(magnitude)
+                self._neg_buckets[index] = \
+                    self._neg_buckets.get(index, 0) + 1
+            if key is not None:
+                priority = reservoir_priority(key)
+            else:
+                # Keyless observations still need a *stable* priority
+                # within one stream; the arrival index gives determinism
+                # for repeated runs (chunk-invariance only matters once
+                # the bucket walk takes over anyway).
+                priority = reservoir_priority(str(self._sequence))
+            self._sequence += 1
+            entry = (-priority, value)
+            if len(self._reservoir) < self._reservoir_size:
+                heapq.heappush(self._reservoir, entry)
+            elif entry > self._reservoir[0]:
+                heapq.heapreplace(self._reservoir, entry)
+
+    # -- reading ---------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def _sorted_buckets(self) -> list[tuple[float, int]]:
+        """(representative value, count) in ascending value order."""
+        items: list[tuple[float, int]] = [
+            (-self._bucket_value(index), count)
+            for index, count in sorted(
+                self._neg_buckets.items(), reverse=True
+            )
+        ]
+        if self._zero_count:
+            items.append((0.0, self._zero_count))
+        items.extend(
+            (self._bucket_value(index), count)
+            for index, count in sorted(self._buckets.items())
+        )
+        return items
+
+    def percentile(self, p: float) -> float:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("percentile must be in [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            if self.is_exact:
+                ordered = sorted(value for _, value in self._reservoir)
+                rank = p * (len(ordered) - 1)
+                lower = int(rank)
+                upper = min(lower + 1, len(ordered) - 1)
+                fraction = rank - lower
+                return ordered[lower] \
+                    + (ordered[upper] - ordered[lower]) * fraction
+            target = int(p * (self._count - 1))
+            cumulative = 0
+            result = self._min
+            for value, count in self._sorted_buckets():
+                cumulative += count
+                if cumulative > target:
+                    result = value
+                    break
+            return min(max(result, self._min), self._max)
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            count = self._count
+        if count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self.mean,
+            "p50": self.percentile(0.5),
+            "p90": self.percentile(0.9),
+            "p99": self.percentile(0.99),
+        }
+
+    # -- merging / transport ---------------------------------------------------
+
+    def state(self) -> dict[str, object]:
+        """Picklable, JSON-safe dump for ``MetricsRegistry.dump()``."""
+        with self._lock:
+            return {
+                "alpha": self._alpha,
+                "reservoir_size": self._reservoir_size,
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+                "zero_count": self._zero_count,
+                "buckets": sorted(self._buckets.items()),
+                "neg_buckets": sorted(self._neg_buckets.items()),
+                "reservoir": [
+                    [priority, value]
+                    for priority, value in sorted(self._reservoir)
+                ],
+            }
+
+    def merge_state(self, state: Mapping[str, object]) -> None:
+        """Fold another sketch's :meth:`state` into this one.
+
+        Bucket counts add exactly, so any chunking of one stream merges
+        to the same sketch; the merged reservoir keeps the bottom-k of
+        the union, so exact-mode percentiles also survive merging.
+        """
+        if float(state["alpha"]) != self._alpha:  # type: ignore[arg-type]
+            raise ValueError(
+                "cannot merge sketches with different alpha "
+                f"({state['alpha']!r} != {self._alpha!r})"
+            )
+        with self._lock:
+            count = int(state["count"])  # type: ignore[arg-type]
+            if count == 0:
+                return
+            self._count += count
+            self._sum += float(state["sum"])  # type: ignore[arg-type]
+            self._min = min(self._min, float(state["min"]))  # type: ignore[arg-type]
+            self._max = max(self._max, float(state["max"]))  # type: ignore[arg-type]
+            self._zero_count += int(state["zero_count"])  # type: ignore[arg-type]
+            for index, bucket_count in state["buckets"]:  # type: ignore[union-attr]
+                index = int(index)
+                self._buckets[index] = \
+                    self._buckets.get(index, 0) + int(bucket_count)
+            for index, bucket_count in state["neg_buckets"]:  # type: ignore[union-attr]
+                index = int(index)
+                self._neg_buckets[index] = \
+                    self._neg_buckets.get(index, 0) + int(bucket_count)
+            incoming = [
+                (int(priority), float(value))
+                for priority, value in state["reservoir"]  # type: ignore[union-attr]
+            ]
+            merged = heapq.nlargest(
+                self._reservoir_size, self._reservoir + incoming
+            )
+            heapq.heapify(merged)
+            self._reservoir = merged
+            self._sequence = max(self._sequence, self._count)
+
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "DEFAULT_RESERVOIR_SIZE",
+    "ZERO_EPSILON",
+    "SketchHistogram",
+    "reservoir_priority",
+]

@@ -94,7 +94,7 @@ class TestProfileCommand:
         ])
         assert code == 0
         text = prom_path.read_text()
-        assert "# TYPE exec_runs counter" in text
+        assert "# TYPE exec_runs_total counter" in text
 
     def test_parallel_backend_profile(self, tmp_path):
         """The CI smoke invocation: profile --jobs 2 on a tiny chain."""

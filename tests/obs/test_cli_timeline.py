@@ -151,3 +151,16 @@ class TestRegressCommand:
         ])
         assert code == 0
         assert json.loads(snap_out.read_text())["workload"]["blocks"] == 2
+
+
+class TestDegenerateInputs:
+    def test_empty_replay_exits_zero_with_note(self, capsys):
+        # A scale so small no block carries an executable transaction:
+        # the table/summary path must explain itself, not traceback.
+        code = main([
+            "timeline", "--chain", "ethereum", "--blocks", "1",
+            "--seed", "0", "--scale", "0.001",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "empty timeline" in err

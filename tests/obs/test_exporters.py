@@ -92,12 +92,41 @@ class TestPrometheus:
     def test_counter_gauge_histogram_lines(self):
         _tracer, registry = _populated_backends()
         text = render_prometheus(registry)
-        assert "# TYPE exec_occ_aborts counter" in text
-        assert "exec_occ_aborts 7" in text
+        assert "# TYPE exec_occ_aborts_total counter" in text
+        assert "exec_occ_aborts_total 7" in text
         assert '''mempool_size{chain="btc"} 42''' in text
         assert "# TYPE exec_wall_time summary" in text
         assert '''exec_wall_time{executor="occ",quantile="0.5"} 2''' in text
         assert '''exec_wall_time_count{executor="occ"} 3''' in text
+
+    def test_counters_drop_unsuffixed_names_by_default(self):
+        _tracer, registry = _populated_backends()
+        lines = render_prometheus(registry).splitlines()
+        assert not any(
+            line.startswith("exec_occ_aborts ") for line in lines
+        )
+
+    def test_already_suffixed_counter_not_doubled(self):
+        registry = MetricsRegistry()
+        registry.counter("gossip.messages_total").inc(5)
+        text = render_prometheus(registry)
+        assert "gossip_messages_total 5" in text
+        assert "gossip_messages_total_total" not in text
+
+    def test_legacy_counter_names_alias(self):
+        registry = MetricsRegistry()
+        registry.counter("exec.occ.aborts").inc(7)
+        text = render_prometheus(registry, legacy_counter_names=True)
+        # Both the canonical _total series and the pre-migration name.
+        assert "exec_occ_aborts_total 7" in text
+        assert "# TYPE exec_occ_aborts counter" in text
+        assert "\nexec_occ_aborts 7" in text
+
+    def test_legacy_flag_skips_alias_when_already_suffixed(self):
+        registry = MetricsRegistry()
+        registry.counter("gossip.messages_total").inc(5)
+        text = render_prometheus(registry, legacy_counter_names=True)
+        assert text.count("gossip_messages_total 5") == 1
 
 
 class TestSummary:
@@ -132,10 +161,11 @@ class TestPrometheusSanitization:
         registry.counter("1starts_with_digit").inc(3)
         registry.counter("legal:colon_name").inc(4)
         text = render_prometheus(registry)
-        assert "exec_occ_aborts 1" in text
-        assert "weird_metric_name_ 2" in text
-        assert "_1starts_with_digit 3" in text
-        assert "legal:colon_name 4" in text  # colons are legal in names
+        assert "exec_occ_aborts_total 1" in text
+        assert "weird_metric_name__total 2" in text
+        assert "_1starts_with_digit_total 3" in text
+        # Colons are legal in names.
+        assert "legal:colon_name_total 4" in text
 
     def test_label_names_sanitized(self):
         registry = MetricsRegistry()
@@ -173,6 +203,52 @@ class TestPrometheusSanitization:
         registry.histogram("exec.wall_time")
         text = render_summary(Tracer(), registry)
         assert "exec.wall_time" in text  # present, not crashed
+
+
+class TestPrometheusSketchFamilies:
+    """Sketch-policy registries render through the same summary path."""
+
+    def _sketch_registry(self):
+        registry = MetricsRegistry(policy="sketch")
+        hist = registry.histogram(
+            "lifecycle.stage latency!", executor="occ"
+        )
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        registry.counter("lifecycle.sampled.kept").inc(4)
+        return registry
+
+    def test_sketch_histogram_renders_as_summary(self):
+        text = render_prometheus(self._sketch_registry())
+        assert "# TYPE lifecycle_stage_latency_ summary" in text
+        assert (
+            '''lifecycle_stage_latency_{executor="occ",quantile="0.5"}'''
+            in text
+        )
+        assert (
+            '''lifecycle_stage_latency__count{executor="occ"} 4''' in text
+        )
+        assert "lifecycle_sampled_kept_total 4" in text
+
+    def test_sketch_label_values_escaped(self):
+        registry = MetricsRegistry(policy="sketch")
+        hist = registry.histogram("m", tricky='a"b\\c\nd')
+        hist.observe(1.0)
+        text = render_prometheus(registry)
+        assert 'tricky="a\\"b\\\\c\\nd"' in text
+        payload_lines = [
+            line for line in text.splitlines() if "tricky" in line
+        ]
+        # quantile lines (p50/p90/p99 collapse when few samples) + sum
+        # + count — every sample stays one physical line.
+        assert len(payload_lines) >= 3
+
+    def test_empty_sketch_histogram_renders_no_quantiles(self):
+        registry = MetricsRegistry(policy="sketch")
+        registry.histogram("exec.wall_time")
+        text = render_prometheus(registry)
+        assert "exec_wall_time_count 0" in text
+        assert "quantile" not in text
 
 
 class TestChromeTrace:

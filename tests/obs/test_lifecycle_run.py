@@ -62,14 +62,30 @@ class TestShardedChain:
         result, state = _run("zilliqa", blocks=2)
         profile = PROFILES_BY_NAME["zilliqa"]
         assert profile.num_shards > 0
+        cross_shard = 0
         for trace in result.traces:
+            # Sub-traces are joined back into the base trace, so no
+            # ``#shard=`` ids survive to the result.
+            assert "#" not in trace.trace_id
             assigned = [e for e in trace.events if e.stage == "assigned"]
-            assert len(assigned) == 1
-            assert 0 <= assigned[0].attrs["shard"] < profile.num_shards
-            consensus = next(
+            home = [e for e in assigned if "home_shard" not in e.attrs]
+            assert len(home) == 1
+            assert 0 <= home[0].attrs["shard"] < profile.num_shards
+            # A transaction writing state homed on other committees
+            # carries one extra assignment per remote shard (the joined
+            # cross-shard sub-trace), each tagged with its home shard.
+            remote = [e for e in assigned if "home_shard" in e.attrs]
+            for event in remote:
+                assert event.attrs["home_shard"] == \
+                    home[0].attrs["shard"]
+                assert event.attrs["shard"] != home[0].attrs["shard"]
+            cross_shard += bool(remote)
+            consensus = [
                 e for e in trace.events if e.stage == "consensus"
-            )
-            assert consensus.attrs["mechanism"] == "pbft"
+            ]
+            assert consensus[0].attrs["mechanism"] == "pbft"
+        # The seeded workload spans committees for at least some txs.
+        assert cross_shard > 0
         counters = state.registry.snapshot()["counters"]
         # The workload builder also dispatches while generating the
         # chain, so the counter bounds the admitted count from above.

@@ -1,0 +1,230 @@
+"""Head-based trace sampling: the decision is a pure function of the
+trace id (reproducible across threads, forked and spawned processes,
+and re-runs), cross-shard sub-traces inherit the parent's decision,
+and :class:`SampledLifecycleTracer` keeps stage counters exact while
+tracing only the sampled subset."""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.lifecycle import (
+    ADMITTED,
+    COMMITTED,
+    CONSENSUS,
+    shard_subtrace_id,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampling import (
+    FULL_RATE,
+    UNSAMPLED_CONTEXT,
+    SampledLifecycleTracer,
+    SampleRate,
+    parse_rate,
+    sample_decision,
+    sample_decisions,
+)
+
+IDS = [f"tx{i:06x}" for i in range(4000)]
+RATE = SampleRate(1, 100)
+
+
+def _chunks(items, size):
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+class TestSampleRate:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampleRate(0, 100)
+        with pytest.raises(ValueError):
+            SampleRate(3, 2)
+        with pytest.raises(ValueError):
+            SampleRate(1, 0)
+
+    def test_full_rate(self):
+        assert FULL_RATE.is_full
+        assert not RATE.is_full
+        assert RATE.fraction == pytest.approx(0.01)
+        assert str(SampleRate(1, 100)) == "1/100"
+
+    @pytest.mark.parametrize("text,keep,out_of", [
+        ("1/100", 1, 100),
+        ("3/7", 3, 7),
+        (" 1 / 2 ", 1, 2),
+    ])
+    def test_parse_rate(self, text, keep, out_of):
+        assert parse_rate(text) == SampleRate(keep, out_of)
+
+    @pytest.mark.parametrize("text", [
+        "", "abc", "1", "1/", "/2", "0/100", "5/2", "-1/10", "1/0",
+    ])
+    def test_parse_rate_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_rate(text)
+
+
+class TestDecisionDeterminism:
+    def test_pure_and_repeatable(self):
+        first = [sample_decision(i, RATE) for i in IDS]
+        second = [sample_decision(i, RATE) for i in IDS]
+        assert first == second
+
+    def test_full_rate_keeps_everything(self):
+        assert all(sample_decision(i, FULL_RATE) for i in IDS)
+
+    def test_keep_fraction_near_rate(self):
+        kept = sum(sample_decision(i, RATE) for i in IDS)
+        expected = len(IDS) / 100
+        assert 0.5 * expected <= kept <= 2.0 * expected
+
+    def test_shard_subtraces_inherit_parent_decision(self):
+        for tx in IDS[:512]:
+            parent = sample_decision(tx, RATE)
+            for shard in (0, 3, 17):
+                sub = shard_subtrace_id(tx, shard)
+                assert sample_decision(sub, RATE) == parent
+
+    def test_threads_agree_with_serial(self):
+        serial = [sample_decision(i, RATE) for i in IDS]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            threaded = list(pool.map(
+                lambda chunk: sample_decisions(chunk, 1, 100),
+                _chunks(IDS, 500),
+            ))
+        assert [d for chunk in threaded for d in chunk] == serial
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_worker_processes_agree_with_serial(self, method):
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{method} start method unavailable")
+        serial = [sample_decision(i, RATE) for i in IDS]
+        context = multiprocessing.get_context(method)
+        with context.Pool(2) as pool:
+            remote = pool.starmap(
+                sample_decisions,
+                [(chunk, 1, 100) for chunk in _chunks(IDS, 1000)],
+            )
+        assert [d for chunk in remote for d in chunk] == serial
+
+
+class TestSampledLifecycleTracer:
+    def _tracer(self, rate=RATE):
+        registry = MetricsRegistry()
+        return SampledLifecycleTracer(rate, registry=registry), registry
+
+    def test_unsampled_begin_returns_shared_sentinel(self):
+        life, _ = self._tracer()
+        dropped_ids = [i for i in IDS if not sample_decision(i, RATE)]
+        context = life.begin(dropped_ids[0])
+        assert context is UNSAMPLED_CONTEXT
+        assert context.span_id == 0
+        assert life.open_count == 0
+
+    def test_sampled_transactions_get_full_traces(self):
+        life, _ = self._tracer()
+        kept_ids = [i for i in IDS if sample_decision(i, RATE)]
+        tx = kept_ids[0]
+        context = life.begin(tx, at=0.0)
+        assert context.trace_id == tx and context.span_id > 0
+        assert life.record(tx, CONSENSUS, at=1.0) is not None
+        assert life.close(tx, at=2.0)
+        trace = life.trace(tx)
+        assert trace is not None and trace.closed
+        assert trace.outcome == "committed"
+
+    def test_unsampled_record_and_close_are_noops(self):
+        life, _ = self._tracer()
+        tx = next(i for i in IDS if not sample_decision(i, RATE))
+        life.begin(tx)
+        assert life.record(tx, CONSENSUS) is None
+        assert life.trace(tx) is None
+        assert life.closed_count == 0
+
+    def test_record_rejects_unknown_stage(self):
+        life, _ = self._tracer()
+        with pytest.raises(ValueError, match="unknown lifecycle stage"):
+            life.record("tx0", "teleported")
+
+    def test_stage_counters_exact_over_all_transactions(self):
+        life, registry = self._tracer()
+        for tx in IDS[:1000]:
+            life.begin(tx, at=0.0)
+            life.record(tx, CONSENSUS, at=1.0)
+            life.close(tx, at=2.0)
+        life.flush_counts()
+        kept = sum(sample_decision(i, RATE) for i in IDS[:1000])
+        admitted = registry.counter(
+            f"lifecycle.stage_count.{ADMITTED}"
+        ).value
+        consensus = registry.counter(
+            "lifecycle.stage_count.consensus"
+        ).value
+        committed = registry.counter(
+            f"lifecycle.stage_count.{COMMITTED}"
+        ).value
+        assert admitted == consensus == committed == 1000
+        assert registry.counter("lifecycle.sampled.kept").value == kept
+        assert registry.counter(
+            "lifecycle.sampled.dropped"
+        ).value == 1000 - kept
+        # ...but only the sampled subset carries stitched traces.
+        assert life.closed_count == kept
+
+    def test_clock_and_reads_are_flush_points(self):
+        life, registry = self._tracer()
+        counter = registry.counter("lifecycle.stage_count.admitted")
+        for tx in IDS[:10]:
+            life.begin(tx)
+        # Batched: nothing synced yet without an explicit flush point.
+        assert counter.value == 0
+        life.set_clock(5.0)
+        assert counter.value == 10
+        for tx in IDS[10:20]:
+            life.begin(tx)
+        life.closed_traces()
+        assert counter.value == 20
+
+    def test_full_rate_traces_everything(self):
+        life, registry = self._tracer(rate=FULL_RATE)
+        for tx in IDS[:50]:
+            life.begin(tx, at=0.0)
+            life.close(tx, at=1.0)
+        life.flush_counts()
+        assert life.closed_count == 50
+        assert registry.counter("lifecycle.sampled.kept").value == 50
+        assert registry.counter("lifecycle.sampled.dropped").value == 0
+
+    def test_works_without_registry(self):
+        life = SampledLifecycleTracer(RATE)
+        for tx in IDS[:200]:
+            life.begin(tx)
+        life.flush_counts()  # must be a harmless no-op
+        kept = sum(sample_decision(i, RATE) for i in IDS[:200])
+        assert life.open_count == kept
+
+    def test_decision_memo_stays_bounded(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.obs.sampling._DECISION_MEMO_CAP", 64
+        )
+        life, _ = self._tracer()
+        for tx in IDS[:1000]:
+            life.begin(tx)
+        assert len(life._decisions) <= 64
+        # Eviction can never flip an outcome: the decision is pure.
+        for tx in IDS[:1000]:
+            assert life.sampled(tx) == sample_decision(tx, RATE)
+
+    def test_clear_resets_batches_and_memo(self):
+        life, registry = self._tracer()
+        for tx in IDS[:100]:
+            life.begin(tx)
+        life.clear()
+        life.flush_counts()
+        assert registry.counter(
+            "lifecycle.stage_count.admitted"
+        ).value == 0
+        assert len(life._decisions) == 0

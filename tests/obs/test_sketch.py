@@ -1,0 +1,216 @@
+"""Bounded-memory sketch histograms: exact-mode parity with the exact
+histogram, documented percentile tolerance past the reservoir, and the
+chunking-invariance property — sketch-merge over ANY split of a stream
+equals single-stream ingestion (hypothesis asserts equality, not
+tolerance)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.sketch import (
+    DEFAULT_ALPHA,
+    DEFAULT_RESERVOIR_SIZE,
+    SketchHistogram,
+    reservoir_priority,
+)
+
+QUANTILES = (0.0, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0)
+
+values_strategy = st.lists(
+    st.one_of(
+        st.floats(
+            min_value=1e-6, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        ),
+        st.floats(
+            min_value=-1e6, max_value=-1e-6,
+            allow_nan=False, allow_infinity=False,
+        ),
+        st.just(0.0),
+    ),
+    min_size=1, max_size=200,
+)
+
+
+def _chunk(values: list[float], boundaries: list[int]):
+    cuts = sorted({b % (len(values) + 1) for b in boundaries})
+    edges = [0, *cuts, len(values)]
+    return [
+        values[start:stop]
+        for start, stop in zip(edges, edges[1:])
+        if start < stop
+    ]
+
+
+class TestConstruction:
+    def test_tuning_validation(self):
+        with pytest.raises(ValueError):
+            SketchHistogram("h", alpha=0.0)
+        with pytest.raises(ValueError):
+            SketchHistogram("h", alpha=1.0)
+        with pytest.raises(ValueError):
+            SketchHistogram("h", reservoir_size=0)
+
+    def test_empty_sketch(self):
+        sketch = SketchHistogram("h")
+        assert sketch.count == 0
+        assert sketch.percentile(0.5) == 0.0
+        assert sketch.summary() == {"count": 0, "sum": 0.0}
+
+    def test_priority_is_deterministic(self):
+        assert reservoir_priority("tx1") == reservoir_priority("tx1")
+        assert reservoir_priority("tx1") != reservoir_priority("tx2")
+
+
+class TestExactMode:
+    """While count <= reservoir_size, nothing has been evicted and the
+    sketch must agree with the exact histogram bit for bit."""
+
+    def test_summary_matches_exact_histogram(self):
+        rng = random.Random(2020)
+        values = [rng.lognormvariate(0.0, 1.5) for _ in range(200)]
+        exact = Histogram("h")
+        sketch = SketchHistogram("h")
+        for index, value in enumerate(values):
+            exact.observe(value)
+            sketch.observe(value, key=f"tx{index}")
+        assert sketch.is_exact
+        assert sketch.summary() == exact.summary()
+        for quantile in QUANTILES:
+            assert sketch.percentile(quantile) == \
+                exact.percentile(quantile)
+
+    def test_exactness_ends_after_reservoir_overflow(self):
+        sketch = SketchHistogram("h", reservoir_size=8)
+        for index in range(9):
+            sketch.observe(float(index), key=f"tx{index}")
+        assert not sketch.is_exact
+
+
+class TestBucketAccuracy:
+    def test_percentiles_within_documented_tolerance(self):
+        rng = random.Random(2020)
+        values = [rng.lognormvariate(0.0, 2.0) for _ in range(10_000)]
+        exact = Histogram("h")
+        sketch = SketchHistogram("h")
+        for index, value in enumerate(values):
+            exact.observe(value)
+            sketch.observe(value, key=f"tx{index}")
+        assert not sketch.is_exact
+        for quantile in (0.50, 0.90, 0.95, 0.99):
+            reference = exact.percentile(quantile)
+            approx = sketch.percentile(quantile)
+            assert abs(approx - reference) <= \
+                2 * DEFAULT_ALPHA * abs(reference)
+
+    def test_exact_moments_regardless_of_reservoir(self):
+        rng = random.Random(7)
+        values = [rng.uniform(-50.0, 50.0) for _ in range(5_000)]
+        values[17] = 0.0
+        sketch = SketchHistogram("h", reservoir_size=16)
+        for index, value in enumerate(values):
+            sketch.observe(value, key=f"tx{index}")
+        assert sketch.count == len(values)
+        assert sketch.total == pytest.approx(sum(values))
+        assert sketch.mean == pytest.approx(
+            sum(values) / len(values)
+        )
+        summary = sketch.summary()
+        assert summary["min"] == min(values)
+        assert summary["max"] == max(values)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        sketch = SketchHistogram("h", reservoir_size=4)
+        for index in range(1000):
+            sketch.observe(1.0 + (index % 7) * 0.25, key=f"tx{index}")
+        assert sketch.percentile(0.0) >= 1.0
+        assert sketch.percentile(1.0) <= 1.0 + 6 * 0.25
+
+
+class TestMerge:
+    def test_alpha_mismatch_rejected(self):
+        left = SketchHistogram("h", alpha=0.01)
+        right = SketchHistogram("h", alpha=0.02)
+        right.observe(1.0, key="tx0")
+        with pytest.raises(ValueError, match="different alpha"):
+            left.merge_state(right.state())
+
+    def test_merging_empty_state_is_identity(self):
+        sketch = SketchHistogram("h")
+        sketch.observe(3.0, key="tx0")
+        before = sketch.state()
+        sketch.merge_state(SketchHistogram("h").state())
+        assert sketch.state() == before
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=values_strategy,
+        boundaries=st.lists(st.integers(0, 10_000), max_size=6),
+        reservoir_size=st.sampled_from([4, 32, DEFAULT_RESERVOIR_SIZE]),
+    )
+    def test_merge_over_any_chunking_equals_single_stream(
+        self, values, boundaries, reservoir_size
+    ):
+        # Keys are positional over the WHOLE stream, so re-chunking
+        # never changes any observation's reservoir priority.
+        keyed = [(f"tx{i}", v) for i, v in enumerate(values)]
+        single = SketchHistogram("h", reservoir_size=reservoir_size)
+        for key, value in keyed:
+            single.observe(value, key=key)
+
+        merged = SketchHistogram("h", reservoir_size=reservoir_size)
+        start = 0
+        for chunk in _chunk(values, boundaries):
+            part = SketchHistogram("h", reservoir_size=reservoir_size)
+            for key, value in keyed[start:start + len(chunk)]:
+                part.observe(value, key=key)
+            start += len(chunk)
+            merged.merge_state(part.state())
+
+        single_state = single.state()
+        merged_state = merged.state()
+        # Float accumulation order differs across chunkings; everything
+        # else — bucket tables, reservoir contents, count, extrema —
+        # must match exactly.
+        assert merged_state.pop("sum") == \
+            pytest.approx(single_state.pop("sum"))
+        single_state.pop("reservoir")
+        merged_state.pop("reservoir")
+        assert merged_state == single_state
+        assert sorted(v for _, v in merged._reservoir) == \
+            sorted(v for _, v in single._reservoir)
+        for quantile in QUANTILES:
+            assert merged.percentile(quantile) == \
+                single.percentile(quantile)
+
+
+class TestRegistryIntegration:
+    def test_sketch_policy_builds_sketch_histograms(self):
+        registry = MetricsRegistry(policy="sketch")
+        histogram = registry.histogram("lifecycle.stage.consensus")
+        assert isinstance(histogram, SketchHistogram)
+        assert isinstance(
+            MetricsRegistry().histogram("h"), Histogram
+        )
+
+    def test_dump_merge_roundtrip_between_sketch_registries(self):
+        source = MetricsRegistry(policy="sketch")
+        histogram = source.histogram("lifecycle.stage.consensus")
+        for index in range(500):
+            histogram.observe(0.5 + index * 0.01, key=f"tx{index}")
+        source.counter("lifecycle.sampled.kept").inc(5)
+
+        target = MetricsRegistry(policy="sketch")
+        target.merge_dump(source.dump())
+        merged = target.histogram("lifecycle.stage.consensus")
+        assert merged.count == 500
+        for quantile in (0.5, 0.95, 0.99):
+            assert merged.percentile(quantile) == \
+                histogram.percentile(quantile)
+        assert target.counter("lifecycle.sampled.kept").value == 5
