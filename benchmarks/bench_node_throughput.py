@@ -1,0 +1,173 @@
+"""Node-network throughput and observability-overhead bench.
+
+Drives the :mod:`repro.node` runtime three ways and writes
+``BENCH_node_throughput.json`` at the repo root (plus a text summary
+under ``benchmarks/output/``):
+
+1. **Sustained throughput** — a 4-node PBFT network over the real
+   asyncio TCP loopback transport runs to height 5 with full
+   observability installed; the headline is committed transactions per
+   wall-clock second.  PBFT rather than PoW: one proposer per height
+   means no forks ever race, so the wall-clock number measures the
+   pipeline, not fork-luck.  Hosts that cannot bind a loopback
+   socket (sandboxed CI) fall back to the virtual transport and say so
+   in the JSON rather than failing the bench.
+2. **Enabled-observability overhead ≤ 10%** — the identical *virtual*
+   network (compute-bound: no real sleeps, so the ratio is pure
+   instrumentation cost) with a live registry + lifecycle tracer vs
+   the no-op observability state, interleaved min-of-N repeats, same
+   budget as ``bench_lifecycle_trace.py``.
+3. **Determinism** — two virtual runs of the same seed must produce
+   byte-identical network fingerprints; the throughput numbers above
+   are only trustworthy if the workload under them is pinned.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from _common import peak_rss_bytes, write_output
+
+from repro import obs
+from repro.node import NetworkConfig, NodeNetwork, network_fingerprint
+from repro.obs.lifecycle import LifecycleTracer
+from repro.obs.metrics import MetricsRegistry
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / (
+    "BENCH_node_throughput.json"
+)
+
+SEED = 2020
+OVERHEAD_BUDGET = 1.10
+REPEATS = 4
+
+TCP_CONFIG = dict(
+    nodes=4, height=5, workload_blocks=5, scale=1.0, seed=SEED,
+    consensus="pbft", block_interval=0.3, block_weight=4000,
+    heartbeat=0.1, check_interval=0.05, max_sim_time=60.0,
+)
+
+VIRTUAL_CONFIG = NetworkConfig(
+    nodes=3, height=3, workload_blocks=3, scale=1.0, seed=SEED,
+)
+
+
+def _run_virtual(instrument: bool) -> tuple[float, object]:
+    started = time.perf_counter()
+    if instrument:
+        registry = MetricsRegistry()
+        life = LifecycleTracer(registry=registry)
+        with obs.instrumented(registry=registry, lifecycle=life):
+            result = NodeNetwork(VIRTUAL_CONFIG).run()
+    else:
+        result = NodeNetwork(VIRTUAL_CONFIG).run()
+    return time.perf_counter() - started, result
+
+
+def _throughput_run() -> dict:
+    """The TCP headline run, with a virtual fallback for jailed hosts."""
+    registry = MetricsRegistry()
+    life = LifecycleTracer(registry=registry)
+    for transport in ("tcp", "virtual"):
+        config = NetworkConfig(transport=transport, **TCP_CONFIG)
+        started = time.perf_counter()
+        try:
+            with obs.instrumented(registry=registry, lifecycle=life):
+                result = NodeNetwork(config).run()
+        except OSError as exc:
+            if transport == "tcp":
+                fallback_reason = f"tcp bind failed: {exc}"
+                continue
+            raise
+        wall = time.perf_counter() - started
+        doc = {
+            "transport": transport,
+            "nodes": config.nodes,
+            "consensus": config.consensus,
+            "height": result.height,
+            "reason": result.reason,
+            "converged": result.converged,
+            "roots_agree": result.roots_agree,
+            "injected": result.injected,
+            "committed": result.committed,
+            "wall_seconds": round(wall, 4),
+            "committed_tx_per_s": round(result.committed / wall, 2),
+        }
+        if transport == "virtual":
+            doc["fallback_reason"] = fallback_reason
+        return doc
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def test_node_throughput_and_overhead():
+    throughput = _throughput_run()
+    assert throughput["converged"], throughput["reason"]
+    assert throughput["roots_agree"]
+    assert throughput["committed"] > 0
+
+    # Interleaved E N E N ... so host drift hits both sides equally.
+    enabled_times: list[float] = []
+    noop_times: list[float] = []
+    committed = None
+    for _ in range(REPEATS):
+        elapsed, result = _run_virtual(instrument=True)
+        assert result.converged, result.reason
+        enabled_times.append(elapsed)
+        if committed is None:
+            committed = result.committed
+        elapsed, result = _run_virtual(instrument=False)
+        assert result.committed == committed, (
+            "obs must never change what the network commits"
+        )
+        noop_times.append(elapsed)
+    overhead = min(enabled_times) / min(noop_times)
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"enabled-observability overhead {overhead:.3f} exceeds the "
+        f"{OVERHEAD_BUDGET:.2f} budget"
+    )
+
+    first = NodeNetwork(VIRTUAL_CONFIG).run()
+    second = NodeNetwork(VIRTUAL_CONFIG).run()
+    assert first.snapshot_dict() == second.snapshot_dict()
+    fingerprint = network_fingerprint(first)
+    assert fingerprint == network_fingerprint(second)
+
+    doc = {
+        "bench": "node_throughput",
+        "seed": SEED,
+        "python": platform.python_version(),
+        "throughput": throughput,
+        "overhead": {
+            "budget": OVERHEAD_BUDGET,
+            "ratio": round(overhead, 4),
+            "enabled_seconds_min": round(min(enabled_times), 4),
+            "noop_seconds_min": round(min(noop_times), 4),
+            "repeats": REPEATS,
+            "virtual_committed": committed,
+        },
+        "determinism": {
+            "fingerprint": fingerprint,
+            "runs_identical": True,
+            "sim_seconds": round(first.sim_seconds, 6),
+        },
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    BENCH_JSON.write_text(json.dumps(doc, indent=2) + "\n")
+
+    write_output(
+        "node_throughput",
+        "\n".join([
+            "node network throughput",
+            f"  transport        {throughput['transport']}",
+            f"  committed tx/s   {throughput['committed_tx_per_s']}",
+            f"  committed        {throughput['committed']} "
+            f"(injected {throughput['injected']})",
+            f"  wall             {throughput['wall_seconds']} s",
+            f"  obs overhead     {overhead:.3f}x "
+            f"(budget {OVERHEAD_BUDGET:.2f}x)",
+            f"  fingerprint      {fingerprint[:16]}",
+        ]),
+    )

@@ -136,10 +136,16 @@ def _add_sampling_args(parser: argparse.ArgumentParser) -> None:
         help="histogram policy: exact sample retention or "
              "bounded-memory sketches (default: exact)",
     )
+    parser.add_argument(
+        "--tail", type=float, default=None, metavar="SECONDS",
+        help="tail-based sampling: keep any trace whose simulated "
+             "duration reaches SECONDS even if head-dropped "
+             "(default: off)",
+    )
 
 
 def _sampling_components(args: argparse.Namespace):
-    """(rate, registry, lifecycle tracer) from --rate/--policy.
+    """(rate, registry, lifecycle tracer) from --rate/--policy/--tail.
 
     Bad values raise :class:`CLIError` (exit 2), matching the rest of
     the argument validation.
@@ -148,15 +154,18 @@ def _sampling_components(args: argparse.Namespace):
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.sampling import SampledLifecycleTracer, parse_rate
 
+    tail = getattr(args, "tail", None)
     try:
         rate = parse_rate(args.rate)
         registry = MetricsRegistry(policy=args.policy)
+        if rate.is_full and tail is None:
+            life: LifecycleTracer = LifecycleTracer(registry=registry)
+        else:
+            life = SampledLifecycleTracer(
+                rate=rate, registry=registry, tail_seconds=tail
+            )
     except ValueError as exc:
         raise CLIError(str(exc)) from None
-    if rate.is_full:
-        life: LifecycleTracer = LifecycleTracer(registry=registry)
-    else:
-        life = SampledLifecycleTracer(rate=rate, registry=registry)
     return rate, registry, life
 
 
@@ -917,9 +926,14 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     Exit status: 0 when no *hard* rule breached, 1 on a hard breach
     (only ``--max-abort-rate`` installs one; the wall-clock gate from
     ``--wall-p95`` is always advisory), 2 on bad arguments.
+
+    With ``--follow`` the monitor attaches to a *live node network*
+    (:mod:`repro.node`) instead of the one-shot pipeline: an N-node
+    network runs to the target height and the followed node's per-block
+    samples stream through the same sliding window.  A network that
+    diverges also exits 1.
     """
     from repro import obs
-    from repro.obs.lifecycle_run import run_lifecycle
     from repro.obs.monitor import (
         StreamingMonitor,
         default_rules,
@@ -954,21 +968,68 @@ def cmd_monitor(args: argparse.Namespace) -> int:
             ))
             print()
 
-    try:
-        with obs.instrumented(registry=registry, lifecycle=life):
-            run_lifecycle(
-                profile,
-                blocks=args.blocks,
-                seed=args.seed,
+    network_failed = ""
+    if args.follow:
+        from repro.node import NetworkConfig, NodeNetwork
+
+        follow_id = args.follow_node
+
+        def on_net_block(node_id: str, sample) -> None:
+            if node_id == follow_id:
+                on_block(sample)
+
+        try:
+            config = NetworkConfig(
+                nodes=args.net_nodes,
+                chain=args.chain,
+                engine=args.executor,
                 cores=args.cores,
-                executor=args.executor,
+                transport=args.transport,
+                height=args.height,
+                seed=args.seed,
                 scale=args.scale,
-                nodes=args.nodes,
-                mempool_weight=args.mempool_weight,
-                on_block=on_block,
+                max_sim_time=args.max_sim_time,
             )
-    except ValueError as exc:
-        raise CLIError(str(exc)) from None
+        except ValueError as exc:
+            raise CLIError(str(exc)) from None
+        if not any(
+            f"n{i}" == follow_id for i in range(config.nodes)
+        ):
+            raise CLIError(
+                f"--follow-node {follow_id!r} is not in the network "
+                f"(nodes are n0..n{config.nodes - 1})"
+            )
+        network = NodeNetwork(config, on_block=on_net_block)
+        try:
+            with obs.instrumented(registry=registry, lifecycle=life):
+                result = network.run()
+        except ValueError as exc:
+            raise CLIError(str(exc)) from None
+        print(
+            f"network {result.reason} at height {result.height} "
+            f"(sim {result.sim_seconds:.2f}s, "
+            f"{result.committed} committed)"
+        )
+        if not result.converged:
+            network_failed = result.reason
+    else:
+        from repro.obs.lifecycle_run import run_lifecycle
+
+        try:
+            with obs.instrumented(registry=registry, lifecycle=life):
+                run_lifecycle(
+                    profile,
+                    blocks=args.blocks,
+                    seed=args.seed,
+                    cores=args.cores,
+                    executor=args.executor,
+                    scale=args.scale,
+                    nodes=args.nodes,
+                    mempool_weight=args.mempool_weight,
+                    on_block=on_block,
+                )
+        except ValueError as exc:
+            raise CLIError(str(exc)) from None
 
     aggregate = monitor.aggregate()
     results = monitor.evaluate(aggregate)
@@ -977,6 +1038,13 @@ def cmd_monitor(args: argparse.Namespace) -> int:
             "(no blocks produced transactions — nothing to monitor; "
             "try more --blocks or a larger --scale)"
         )
+        if network_failed:
+            print(
+                f"error: followed network did not converge "
+                f"({network_failed})",
+                file=sys.stderr,
+            )
+            return 1
         return 0
     if not live:
         print(render_monitor(
@@ -1007,6 +1075,130 @@ def cmd_monitor(args: argparse.Namespace) -> int:
                 f"{breach.rule.op} {breach.rule.threshold:g}",
                 file=sys.stderr,
             )
+        return 1
+    if network_failed:
+        print(
+            f"error: followed network did not converge "
+            f"({network_failed})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_node(args: argparse.Namespace) -> int:
+    """Run an N-node in-process network to a target height.
+
+    ``repro node run`` boots N full nodes (mempool ingress, push-relay
+    gossip, PoW/PBFT proposal, executor-replay validation with fork
+    choice) over the chosen transport, injects the seeded chain
+    workload through random ingress nodes, and runs until every node
+    converges — same head, height at least ``--height``, identical
+    mempools — or the simulation budget runs out.
+
+    Exit status: 0 when the network converged with byte-identical
+    per-node chain state roots; 1 on divergence, timeout, or a root
+    mismatch; 2 on bad arguments.
+    """
+    from repro import obs
+    from repro.node import (
+        FaultProfile,
+        NetworkConfig,
+        NodeNetwork,
+        network_fingerprint,
+    )
+
+    _resolve_profile(args.chain)
+    rate, registry, life = _sampling_components(args)
+    try:
+        faults = FaultProfile(
+            latency=args.latency,
+            loss=args.loss,
+            duplicate=args.duplicate,
+            reorder=args.reorder,
+        )
+        config = NetworkConfig(
+            nodes=args.nodes,
+            chain=args.chain,
+            engine=args.executor,
+            cores=args.cores,
+            consensus=args.consensus,
+            transport=args.transport,
+            height=args.height,
+            seed=args.seed,
+            scale=args.scale,
+            workload_blocks=args.workload_blocks,
+            block_interval=args.block_interval,
+            block_weight=args.block_weight,
+            faults=faults,
+            max_sim_time=args.max_sim_time,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+
+    quiet = args.quiet
+
+    def on_block(node_id: str, sample) -> None:
+        if not quiet:
+            print(
+                f"[{node_id}] block {sample.height}: "
+                f"{sample.txs} txs, {sample.committed} committed, "
+                f"{sample.aborted} aborted, "
+                f"pool depth {sample.mempool_depth}"
+            )
+
+    network = NodeNetwork(config, on_block=on_block)
+    try:
+        with obs.instrumented(registry=registry, lifecycle=life):
+            result = network.run()
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+
+    print()
+    print(
+        f"{config.nodes}-node {config.chain} network over "
+        f"{config.transport} transport ({config.consensus}, "
+        f"{args.executor} executor, rate {rate}): {result.reason} "
+        f"at height {result.height}"
+    )
+    print(
+        f"  sim {result.sim_seconds:.2f}s  wall "
+        f"{result.wall_seconds:.2f}s  injected {result.injected}  "
+        f"committed {result.committed}  samples {result.samples}"
+    )
+    for snap in result.snapshots:
+        print(
+            f"  {snap.node_id}: height {snap.height} "
+            f"head {snap.head_hash[:12]} root {snap.chain_root[:12]} "
+            f"proposed {snap.proposed} applied {snap.applied} "
+            f"reorgs {snap.reorgs} pool {len(snap.pool_hashes)}"
+        )
+    print(f"  fingerprint {network_fingerprint(result)[:16]}")
+
+    if args.snapshot_out:
+        import json
+
+        try:
+            with open(args.snapshot_out, "w", encoding="utf-8") as fh:
+                json.dump(result.snapshot_dict(), fh, indent=2)
+                fh.write("\n")
+        except OSError as exc:
+            raise CLIError(
+                f"cannot write network snapshot: {exc}"
+            ) from None
+        print(f"wrote network snapshot to {args.snapshot_out}")
+
+    if not result.converged:
+        print(
+            f"error: network did not converge ({result.reason})",
+            file=sys.stderr,
+        )
+        return 1
+    if not result.roots_agree:
+        print(
+            "error: per-node chain state roots disagree",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -1395,8 +1587,119 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the final window aggregate + rule verdicts as "
              "JSON (CI artifact)",
     )
+    sub.add_argument(
+        "--follow", action="store_true",
+        help="attach to a live node network (repro.node) instead of "
+             "the one-shot pipeline; per-block samples from the "
+             "followed node stream through the window",
+    )
+    sub.add_argument(
+        "--follow-node", default="n0", metavar="ID",
+        help="which node's block stream to follow (default: n0)",
+    )
+    sub.add_argument(
+        "--transport", default="virtual", choices=("virtual", "tcp"),
+        help="network transport with --follow (default: virtual)",
+    )
+    sub.add_argument(
+        "--net-nodes", type=int, default=4, metavar="N",
+        help="network size with --follow (default: 4)",
+    )
+    sub.add_argument(
+        "--height", type=int, default=6,
+        help="target chain height with --follow (default: 6)",
+    )
+    sub.add_argument(
+        "--max-sim-time", type=float, default=600.0, metavar="SECONDS",
+        help="simulated-time budget with --follow before giving up "
+             "(default: 600)",
+    )
     _add_sampling_args(sub)
     sub.set_defaults(func=cmd_monitor)
+
+    sub = subparsers.add_parser(
+        "node",
+        help="run a long-running N-node network (mempool ingress, "
+             "gossip, consensus, executor-replay validation) to a "
+             "target height",
+    )
+    sub.add_argument(
+        "action", choices=("run",),
+        help="node subcommand (currently only 'run')",
+    )
+    sub.add_argument(
+        "--chain", required=True, metavar="NAME",
+        help=f"which blockchain profile to run (one of: {known})",
+    )
+    sub.add_argument(
+        "--executor", default="occ", choices=_EXEC_CHOICES,
+        help="execution engine for proposal and validation replay "
+             "(default: occ)",
+    )
+    sub.add_argument(
+        "--transport", default="virtual", choices=("virtual", "tcp"),
+        help="virtual = deterministic simulated clock + seeded "
+             "faults; tcp = real asyncio loopback sockets "
+             "(default: virtual)",
+    )
+    sub.add_argument(
+        "--consensus", default="pow", choices=("pow", "pbft"),
+        help="block proposal schedule (default: pow)",
+    )
+    sub.add_argument("--nodes", type=int, default=4,
+                     help="network size (default: 4)")
+    sub.add_argument("--height", type=int, default=5,
+                     help="target chain height (default: 5)")
+    sub.add_argument("--seed", type=int, default=2020,
+                     help="determinism seed")
+    sub.add_argument("--scale", type=float, default=1.0,
+                     help="transaction-volume multiplier")
+    sub.add_argument("--cores", type=int, default=2,
+                     help="simulated executor cores per node")
+    sub.add_argument(
+        "--workload-blocks", type=int, default=6, metavar="N",
+        help="seeded workload size in source blocks (default: 6)",
+    )
+    sub.add_argument(
+        "--block-interval", type=float, default=2.0, metavar="SECONDS",
+        help="target seconds between blocks (default: 2.0)",
+    )
+    sub.add_argument(
+        "--block-weight", type=int, default=400, metavar="W",
+        help="block weight budget for packing (default: 400)",
+    )
+    sub.add_argument(
+        "--latency", type=float, default=0.01, metavar="SECONDS",
+        help="virtual-transport base link latency (default: 0.01)",
+    )
+    sub.add_argument(
+        "--loss", type=float, default=0.0, metavar="FRAC",
+        help="virtual-transport frame loss probability (default: 0)",
+    )
+    sub.add_argument(
+        "--duplicate", type=float, default=0.0, metavar="FRAC",
+        help="virtual-transport duplication probability (default: 0)",
+    )
+    sub.add_argument(
+        "--reorder", type=float, default=0.0, metavar="FRAC",
+        help="virtual-transport reorder probability (default: 0)",
+    )
+    sub.add_argument(
+        "--max-sim-time", type=float, default=600.0, metavar="SECONDS",
+        help="simulated-time budget before giving up with exit 1 "
+             "(default: 600)",
+    )
+    sub.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-block stream; print only the summary",
+    )
+    sub.add_argument(
+        "--snapshot-out", default="", metavar="PATH",
+        help="write the deterministic network snapshot as JSON "
+             "(CI artifact)",
+    )
+    _add_sampling_args(sub)
+    sub.set_defaults(func=cmd_node)
 
     sub = subparsers.add_parser(
         "regress",

@@ -453,6 +453,63 @@ def _replay_block(
     return _block_records(block, engines, reports, rows), rows
 
 
+def replay_single_block(
+    data_model: str,
+    block: ReplayBlock,
+    engine: str,
+    cores: int,
+    *,
+    registry: MetricsRegistry | None = None,
+) -> tuple[BlockReplay, tuple]:
+    """Replay one block through one engine; return record + events.
+
+    The node runtime's validation path calls this once per received
+    block: same private-scope contract as :func:`_replay_block` (a
+    fresh recorder, NOOP tracer/lifecycle so validators never touch
+    the global traces), but it returns the single
+    :class:`BlockReplay` together with the block's
+    :class:`~repro.obs.timeline.TimelineEvent` stream so the caller
+    can stitch lifecycle traces or profile lane utilization itself.
+
+    Raises:
+        ValueError: unknown data model / engine, or cores < 1.
+    """
+    if data_model not in DATA_MODELS:
+        raise ValueError(
+            f"unknown data model {data_model!r}; expected one of: "
+            + ", ".join(DATA_MODELS)
+        )
+    validate_engines((engine,))
+    if cores < 1:
+        raise ValueError("cores must be at least 1")
+    from repro.obs.regress import make_executor
+
+    recorder = FlightRecorder()
+    scope = ObservabilityState(
+        registry=registry if registry is not None else NOOP_REGISTRY,
+        tracer=NOOP_TRACER, recorder=recorder, lifecycle=NOOP_LIFECYCLE,
+    )
+    with obs.scoped(scope):
+        with recorder.block(block.height):
+            if engine == "dag":
+                report = _run_dag_block(data_model, block.payload, cores)
+            elif engine == "static-grouped":
+                lookup = {
+                    prediction.tx_hash: prediction
+                    for prediction in block.predictions
+                }
+                report = make_executor(
+                    engine, cores, predictions=lookup
+                ).run(block.tasks)
+            else:
+                report = make_executor(engine, cores).run(block.tasks)
+    events = tuple(recorder.events(block=block.height))
+    record = _block_records(
+        block, (engine,), {engine: report}, recorder.dump_rows()
+    )[0]
+    return record, events
+
+
 class ReplayChunkResult:
     """What a worker ships back for one chunk of blocks.
 

@@ -302,7 +302,27 @@ class Mempool(Generic[PayloadT]):
         self._note_packed(selected)
         return selected
 
+    # -- external removal -------------------------------------------------------
+
+    def remove(self, tx_hash: str) -> PoolEntry[PayloadT] | None:
+        """Drop *tx_hash* without closing its lifecycle trace.
+
+        The node runtime calls this when a received block confirms a
+        transaction this pool still holds — the trace stays open
+        because the *proposer's* execution stitching closes it.
+        Returns the removed entry, or None when absent.
+        """
+        return self._remove(tx_hash)
+
     # -- introspection ----------------------------------------------------------
+
+    def get(self, tx_hash: str) -> PoolEntry[PayloadT] | None:
+        """The pending entry for *tx_hash*, or None."""
+        return self._entries.get(tx_hash)
+
+    def tx_hashes(self) -> list[str]:
+        """Pending transaction hashes in insertion order."""
+        return list(self._entries)
 
     def estimate_fee_rate(self, percentile: float = 0.5) -> float:
         """Fee-rate estimate from recently included transactions.

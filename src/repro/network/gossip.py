@@ -21,10 +21,66 @@ from __future__ import annotations
 import heapq
 import math
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro import obs
+
+DEFAULT_SEEN_CAPACITY = 65_536
+
+
+class BoundedSeenCache:
+    """An LRU-bounded "have I seen this id?" set for relay dedup.
+
+    A long-running gossip daemon cannot keep every tx/block hash it has
+    ever relayed — that set grows O(all ids ever seen) and is exactly
+    the kind of slow leak a soak test catches a week too late.  This
+    cache keeps the most-recently-touched *capacity* ids and evicts the
+    least recently seen, bumping an eviction counter metric so the
+    operator can see dedup memory pressure (an evicted id that comes
+    back is re-relayed once — wasteful but safe, since receivers dedup
+    too).
+
+    ``add`` returns True for a **new** id (relay it) and False for a
+    duplicate (drop it), refreshing recency either way.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_SEEN_CAPACITY, *,
+                 metric: str = "gossip.seen_evicted") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._metric = metric
+        self._entries: OrderedDict[str, None] = OrderedDict()
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    def add(self, key: str) -> bool:
+        """Mark *key* seen; True when it was new, False on a duplicate."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            return False
+        entries[key] = None
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self._evictions += 1
+            if obs.enabled():
+                obs.counter(self._metric).inc()
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
 
 
 @dataclass(frozen=True)
@@ -55,10 +111,24 @@ class PropagationResult:
 
 @dataclass
 class GossipNetwork:
-    """A static peer-to-peer topology with latency-weighted links."""
+    """A static peer-to-peer topology with latency-weighted links.
+
+    ``seen_capacity`` bounds the relay dedup memory: block ids passed
+    to :meth:`propagate` are remembered in a :class:`BoundedSeenCache`
+    (LRU, eviction-counted) instead of an ever-growing set, so a
+    daemon flooding blocks forever stays O(capacity).
+    """
 
     rng: random.Random = field(default_factory=random.Random)
+    seen_capacity: int = DEFAULT_SEEN_CAPACITY
     _peers: dict[str, dict[str, float]] = field(default_factory=dict)
+    _seen: BoundedSeenCache | None = field(default=None, repr=False)
+
+    def seen_cache(self) -> BoundedSeenCache:
+        """The relay dedup cache (created lazily)."""
+        if self._seen is None:
+            self._seen = BoundedSeenCache(self.seen_capacity)
+        return self._seen
 
     def add_node(self, node_id: str) -> None:
         self._peers.setdefault(node_id, {})
@@ -124,8 +194,16 @@ class GossipNetwork:
         *,
         validation_delay: float = 0.0,
         tx_hashes: Sequence[str] = (),
-    ) -> PropagationResult:
+        block_id: str | None = None,
+    ) -> PropagationResult | None:
         """Flood a block from *origin*; returns first-arrival times.
+
+        With a *block_id*, the network dedups the flood through its
+        bounded seen-cache: a repeated id is dropped (counted under
+        ``gossip.duplicate_drops``) and the call returns ``None``
+        instead of re-flooding — the push-relay contract a long-running
+        daemon needs.  Without one, every call floods (the historical
+        one-shot behaviour).
 
         A node relays only after validating (``validation_delay``), so
         total delay along a path is sum(link latencies) plus one
@@ -143,6 +221,10 @@ class GossipNetwork:
             raise KeyError(f"unknown node {origin!r}")
         if validation_delay < 0:
             raise ValueError("validation_delay must be non-negative")
+        if block_id is not None and not self.seen_cache().add(block_id):
+            if obs.enabled():
+                obs.counter("gossip.duplicate_drops").inc()
+            return None
         with obs.trace_span("gossip.propagate", origin=origin) as span:
             arrival: dict[str, float] = {}
             hops_of: dict[str, int] = {}

@@ -1,0 +1,247 @@
+"""Pluggable node transports: seeded in-memory faults and real TCP.
+
+Both transports present one surface to the node layer — ``register``
+an inbox per node, fire-and-forget ``send(dst, frame)``, and async
+``start``/``close`` — so the node service loops never know which wire
+they are on:
+
+* :class:`MemoryTransport` — frames travel through the runtime's
+  queues with *seeded* latency, jitter, loss, duplication and
+  reordering drawn from one ``random.Random``.  Under the virtual
+  runtime the send sequence is deterministic, so the fault schedule
+  is too: the same seed yields the same drops and arrival order,
+  byte-for-byte, which is what the convergence property suite leans
+  on.
+* :class:`TcpTransport` — length-prefixed pickled frames over real
+  asyncio loopback sockets, one ordered connection per destination.
+  Nothing about it is deterministic; it exists so the throughput
+  bench measures a real network stack.
+
+Fault injection happens **per send** on the sender's side (loss before
+duplication before delay draws), mirroring how an unreliable link
+drops a datagram before the receiver ever schedules it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import random
+import struct
+from dataclasses import dataclass, field
+
+from repro import obs
+
+_LEN = struct.Struct(">I")
+_CLOSE = object()
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One gossip/protocol message.
+
+    ``kind`` is the protocol verb (``tx``, ``block``, ``announce``,
+    ``pull_chain``, ``chain``, ``pull_txs``), ``src`` the sending node
+    id, ``payload`` verb-specific, and ``hops`` the relay depth —
+    lifecycle ``relayed`` events carry it so traces expose how far a
+    transaction travelled.
+    """
+
+    kind: str
+    src: str
+    payload: object
+    hops: int = 0
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Seeded link-fault schedule for the memory transport."""
+
+    latency: float = 0.01
+    jitter: float = 0.5
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    reorder_delay: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.latency <= 0:
+            raise ValueError("latency must be positive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        for name in ("loss", "duplicate", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1)")
+        if self.reorder_delay < 0:
+            raise ValueError("reorder_delay must be non-negative")
+
+
+@dataclass
+class TransportStats:
+    """Sender-side frame accounting (kept even with obs disabled)."""
+
+    sent: int = 0
+    lost: int = 0
+    duplicated: int = 0
+
+
+class MemoryTransport:
+    """In-process queues with a seeded fault schedule."""
+
+    def __init__(self, runtime, *, faults: FaultProfile | None = None,
+                 seed: int = 0) -> None:
+        self._runtime = runtime
+        self.faults = faults if faults is not None else FaultProfile()
+        self._rng = random.Random(f"{seed}|transport")
+        self._inboxes: dict[str, object] = {}
+        self.stats = TransportStats()
+
+    def register(self, node_id: str):
+        if node_id in self._inboxes:
+            raise ValueError(f"node {node_id!r} already registered")
+        inbox = self._runtime.new_queue()
+        self._inboxes[node_id] = inbox
+        return inbox
+
+    async def start(self) -> None:
+        return None
+
+    async def close(self) -> None:
+        return None
+
+    def _delay(self) -> float:
+        faults = self.faults
+        spread = faults.jitter
+        delay = faults.latency * (
+            1.0 - spread + 2.0 * spread * self._rng.random()
+        )
+        if faults.reorder and self._rng.random() < faults.reorder:
+            delay += (
+                faults.latency * faults.reorder_delay * self._rng.random()
+            )
+        return delay
+
+    def send(self, dst: str, frame: Frame) -> None:
+        inbox = self._inboxes.get(dst)
+        if inbox is None:
+            raise KeyError(f"unknown destination {dst!r}")
+        self.stats.sent += 1
+        if obs.enabled():
+            obs.counter("node.net.sent").inc()
+        rng = self._rng
+        faults = self.faults
+        if faults.loss and rng.random() < faults.loss:
+            self.stats.lost += 1
+            if obs.enabled():
+                obs.counter("node.net.lost").inc()
+            return
+        copies = 1
+        if faults.duplicate and rng.random() < faults.duplicate:
+            copies = 2
+            self.stats.duplicated += 1
+            if obs.enabled():
+                obs.counter("node.net.duplicated").inc()
+        for _ in range(copies):
+            self._runtime.call_later(
+                self._delay(), lambda: inbox.put_nowait(frame)
+            )
+
+
+class TcpTransport:
+    """Length-prefixed pickled frames over asyncio loopback sockets.
+
+    Each node gets a listening server on an ephemeral 127.0.0.1 port;
+    each (sender-process, destination) pair shares one ordered
+    connection fed by an outgoing queue, so per-destination frame
+    order is preserved — the property the block sync path assumes.
+    """
+
+    def __init__(self, runtime, *, host: str = "127.0.0.1") -> None:
+        self._runtime = runtime
+        self._host = host
+        self._inboxes: dict[str, asyncio.Queue] = {}
+        self._servers: dict[str, asyncio.AbstractServer] = {}
+        self._ports: dict[str, int] = {}
+        self._out: dict[str, asyncio.Queue] = {}
+        self._senders: dict[str, object] = {}
+        self.stats = TransportStats()
+
+    def register(self, node_id: str) -> asyncio.Queue:
+        if node_id in self._inboxes:
+            raise ValueError(f"node {node_id!r} already registered")
+        inbox: asyncio.Queue = asyncio.Queue()
+        self._inboxes[node_id] = inbox
+        return inbox
+
+    async def start(self) -> None:
+        for node_id, inbox in self._inboxes.items():
+            server = await asyncio.start_server(
+                lambda r, w, q=inbox: self._serve(q, r, w),
+                self._host, 0,
+            )
+            self._servers[node_id] = server
+            self._ports[node_id] = server.sockets[0].getsockname()[1]
+
+    async def _serve(self, inbox: asyncio.Queue, reader, writer) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(_LEN.size)
+                (length,) = _LEN.unpack(header)
+                data = await reader.readexactly(length)
+                inbox.put_nowait(pickle.loads(data))
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        finally:
+            writer.close()
+
+    async def _sender(self, dst: str) -> None:
+        queue = self._out[dst]
+        reader, writer = await asyncio.open_connection(
+            self._host, self._ports[dst]
+        )
+        try:
+            while True:
+                frame = await queue.get()
+                if frame is _CLOSE:
+                    break
+                data = pickle.dumps(frame)
+                writer.write(_LEN.pack(len(data)) + data)
+                await writer.drain()
+        finally:
+            writer.close()
+
+    def send(self, dst: str, frame: Frame) -> None:
+        if dst not in self._inboxes:
+            raise KeyError(f"unknown destination {dst!r}")
+        self.stats.sent += 1
+        if obs.enabled():
+            obs.counter("node.net.sent").inc()
+        queue = self._out.get(dst)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._out[dst] = queue
+            self._senders[dst] = self._runtime.spawn(
+                self._sender(dst), name=f"tcp-sender:{dst}"
+            )
+        queue.put_nowait(frame)
+
+    async def close(self) -> None:
+        for queue in self._out.values():
+            queue.put_nowait(_CLOSE)
+        if self._senders:
+            await asyncio.gather(
+                *self._senders.values(), return_exceptions=True
+            )
+        for server in self._servers.values():
+            server.close()
+            await server.wait_closed()
+
+
+__all__ = [
+    "FaultProfile",
+    "Frame",
+    "MemoryTransport",
+    "TcpTransport",
+    "TransportStats",
+]

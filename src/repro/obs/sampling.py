@@ -26,6 +26,14 @@ sampled*.  :class:`SampledLifecycleTracer` bumps a per-stage counter
 or not — so abort/commit/drop rates computed from counters are exact;
 only the per-stage latency histograms and stitched traces are limited
 to the sampled subset.
+
+Head sampling alone is blind to the tail: the 1-in-N lottery is
+equally likely to keep a fast trace as the pathological one the
+operator actually wants.  **Tail-based sampling** (``tail_seconds``)
+closes that gap — head-dropped traces are buffered provisionally and
+promoted to full traces at close if their simulated duration reaches
+the threshold, with exact ``lifecycle.sampled.tail_kept`` /
+``tail_evicted`` counters.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from repro.obs.lifecycle import (
     ADMITTED,
     SHARD_TRACE_SEPARATOR,
     STAGES,
+    TERMINAL_STAGES,
     LifecycleTracer,
     TraceContext,
 )
@@ -60,6 +69,13 @@ _STAGE_SET = frozenset(STAGES)
 # most).  Evicted ids simply re-hash — the decision is pure, so the
 # cache can never change an outcome.
 _DECISION_MEMO_CAP = 65_536
+
+# Tail sampling buffers provisional events for head-dropped traces
+# until they close; the buffer is bounded so a flood of never-closing
+# transactions cannot grow O(open traces) behind the operator's back.
+# Evictions are counted (``lifecycle.sampled.tail_evicted``) — an
+# evicted trace simply loses its tail chance, it is never corrupted.
+DEFAULT_TAIL_BUFFER = 65_536
 
 
 @dataclass(frozen=True)
@@ -169,11 +185,28 @@ class SampledLifecycleTracer(LifecycleTracer):
     transactions — unsampled ids keep no state at all (that is the
     point), so a duplicate unsampled admission is indistinguishable
     from the first.
+
+    **Tail-based sampling** (``tail_seconds``): traces whose simulated
+    duration (first event → terminal event) reaches the threshold are
+    kept *regardless* of the head decision.  Head-dropped traces
+    buffer their events provisionally; when a terminal stage arrives,
+    a slow trace is materialised through the parent tracer (original
+    timestamps preserved, so head+tail merging is deterministic — the
+    same workload always yields the same trace set) and counted under
+    ``lifecycle.sampled.tail_kept``; a fast one is discarded.  The
+    provisional buffer is LRU-bounded by ``tail_buffer`` with evictions
+    counted under ``lifecycle.sampled.tail_evicted``.
     """
 
     def __init__(self, rate: SampleRate = FULL_RATE,
-                 registry: "MetricsRegistry | None" = None) -> None:
+                 registry: "MetricsRegistry | None" = None,
+                 *, tail_seconds: float | None = None,
+                 tail_buffer: int = DEFAULT_TAIL_BUFFER) -> None:
         super().__init__(registry)
+        if tail_seconds is not None and tail_seconds < 0:
+            raise ValueError("tail_seconds must be non-negative")
+        if tail_buffer < 1:
+            raise ValueError("tail_buffer must be positive")
         self._rate = rate
         self._counting = registry is not None and registry.enabled
         self._stage_counters: dict[str, "Counter"] = {}
@@ -181,10 +214,28 @@ class SampledLifecycleTracer(LifecycleTracer):
         self._pending_counts: dict[str, int] = {}
         self._pending_kept = 0
         self._pending_dropped = 0
+        self._tail_seconds = tail_seconds
+        self._tail_buffer = tail_buffer
+        # trace id -> [(stage, at, duration, attrs), ...] for
+        # head-dropped traces still awaiting their terminal stage.
+        self._provisional: dict[str, list] = {}
+        self._pending_tail_kept = 0
+        self._pending_tail_evicted = 0
+        self.tail_kept_total = 0
+        self.tail_evicted_total = 0
 
     @property
     def rate(self) -> SampleRate:
         return self._rate
+
+    @property
+    def tail_seconds(self) -> float | None:
+        return self._tail_seconds
+
+    @property
+    def provisional_open(self) -> int:
+        """Head-dropped traces currently buffered for a tail decision."""
+        return len(self._provisional)
 
     def sampled(self, trace_id: str) -> bool:
         return self._decide(trace_id)
@@ -233,6 +284,16 @@ class SampledLifecycleTracer(LifecycleTracer):
                 self._pending_dropped
             )
             self._pending_dropped = 0
+        if self._pending_tail_kept:
+            self._registry.counter("lifecycle.sampled.tail_kept").inc(
+                self._pending_tail_kept
+            )
+            self._pending_tail_kept = 0
+        if self._pending_tail_evicted:
+            self._registry.counter("lifecycle.sampled.tail_evicted").inc(
+                self._pending_tail_evicted
+            )
+            self._pending_tail_evicted = 0
 
     # Every clock movement and trace read is a flush point, so drivers
     # and readers always see exact counters without extra calls.
@@ -263,6 +324,11 @@ class SampledLifecycleTracer(LifecycleTracer):
         self._pending_counts.clear()
         self._pending_kept = 0
         self._pending_dropped = 0
+        self._provisional.clear()
+        self._pending_tail_kept = 0
+        self._pending_tail_evicted = 0
+        self.tail_kept_total = 0
+        self.tail_evicted_total = 0
 
     def begin(self, tx_hash: str, *, at: float | None = None,
               **attrs: object) -> TraceContext:
@@ -272,6 +338,9 @@ class SampledLifecycleTracer(LifecycleTracer):
             self._pending_kept += 1
             return super().begin(tx_hash, at=at, **attrs)
         self._pending_dropped += 1
+        if self._tail_seconds is not None:
+            when = self._clock if at is None else float(at)
+            self._tail_begin(tx_hash, when, attrs)
         return UNSAMPLED_CONTEXT
 
     def record(self, tx_hash: str, stage: str, *,
@@ -288,13 +357,72 @@ class SampledLifecycleTracer(LifecycleTracer):
         if decision is None:
             decision = self._decide(tx_hash)
         if not decision:
+            if self._tail_seconds is not None:
+                when = self._clock if at is None else float(at)
+                self._tail_record(tx_hash, stage, when, duration, attrs)
             return None
         return super().record(
             tx_hash, stage, at=at, duration=duration, **attrs
         )
 
+    # -- tail-based promotion --------------------------------------------------
+
+    def _tail_begin(self, tx_hash: str, when: float,
+                    attrs: dict[str, object]) -> None:
+        provisional = self._provisional
+        if tx_hash in provisional:
+            # Head-dropped begins must stay idempotent: callers dedup
+            # begins with ``trace() is None`` (see Mempool.submit),
+            # which cannot see this buffer, so a transaction admitted
+            # at several nodes legitimately re-begins here.  Keep the
+            # originally buffered root span.
+            return
+        if len(provisional) >= self._tail_buffer:
+            # FIFO eviction: the oldest open trace loses its tail
+            # chance.  One pop per overflowing begin keeps this O(1);
+            # the counter makes the loss visible to operators.
+            del provisional[next(iter(provisional))]
+            self._pending_tail_evicted += 1
+            self.tail_evicted_total += 1
+        provisional[tx_hash] = [(ADMITTED, when, 0.0, attrs)]
+
+    def _tail_record(self, tx_hash: str, stage: str, when: float,
+                     duration: float, attrs: dict[str, object]) -> None:
+        events = self._provisional.get(tx_hash)
+        if events is None:
+            # Never began here (or evicted): no tail chance, mirroring
+            # the unsampled fast path's statelessness.
+            return
+        events.append((stage, when, duration, attrs))
+        if stage not in TERMINAL_STAGES:
+            return
+        del self._provisional[tx_hash]
+        # Same monotonic clamp the parent applies on replay: the
+        # trace's duration is first event -> latest (clamped) event.
+        start = events[0][1]
+        end = start
+        for _stage, event_at, _duration, _attrs in events:
+            end = max(end, event_at)
+        if end - start < self._tail_seconds:  # type: ignore[operator]
+            return
+        # Slow trace: materialise it through the parent with the
+        # original timestamps, bypassing the head decision.  Replaying
+        # in event order through the parent's own begin/record keeps
+        # clamping, sealing, and metrics identical to a head-kept
+        # trace, so merged head+tail output is deterministic.
+        _stage0, first_at, _d0, first_attrs = events[0]
+        LifecycleTracer.begin(self, tx_hash, at=first_at, **first_attrs)
+        for event_stage, event_at, event_duration, event_attrs in events[1:]:
+            LifecycleTracer.record(
+                self, tx_hash, event_stage, at=event_at,
+                duration=event_duration, **event_attrs
+            )
+        self._pending_tail_kept += 1
+        self.tail_kept_total += 1
+
 
 __all__ = [
+    "DEFAULT_TAIL_BUFFER",
     "FULL_RATE",
     "UNSAMPLED_CONTEXT",
     "SampleRate",

@@ -1,0 +1,109 @@
+"""Bounded relay dedup memory: the LRU seen-cache and flood dedup.
+
+The soak scenario is the one a long-running daemon hits: far more
+distinct block/tx ids than the cache holds.  Memory must stay
+O(capacity) with every eviction counted — never a silent leak, never
+a silent drop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.network.gossip import (
+    DEFAULT_SEEN_CAPACITY,
+    BoundedSeenCache,
+    GossipNetwork,
+)
+
+
+def _ring(n: int = 6) -> GossipNetwork:
+    network = GossipNetwork(seen_capacity=8)
+    for i in range(n):
+        network.connect(f"n{i}", f"n{(i + 1) % n}", 1.0)
+    return network
+
+
+class TestBoundedSeenCache:
+    def test_add_reports_new_vs_duplicate(self):
+        cache = BoundedSeenCache(4)
+        assert cache.add("a") is True
+        assert cache.add("a") is False
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedSeenCache(0)
+
+    def test_eviction_is_lru_not_fifo(self):
+        cache = BoundedSeenCache(3)
+        for key in ("a", "b", "c"):
+            cache.add(key)
+        # Touch "a" so "b" becomes least-recently-seen.
+        assert cache.add("a") is False
+        cache.add("d")
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+        assert cache.evictions == 1
+
+    def test_soak_memory_stays_bounded_and_counted(self):
+        cache = BoundedSeenCache(1_000)
+        for i in range(100_000):
+            assert cache.add(f"blk{i}") is True
+        assert len(cache) == 1_000
+        assert cache.evictions == 99_000
+
+    def test_eviction_metric_lands_in_registry(self):
+        with obs.instrumented() as state:
+            cache = BoundedSeenCache(2, metric="gossip.seen_evicted")
+            for key in ("a", "b", "c", "d"):
+                cache.add(key)
+        counters = state.registry.snapshot()["counters"]
+        assert counters["gossip.seen_evicted"] == 2
+
+    def test_clear_resets_entries_not_totals(self):
+        cache = BoundedSeenCache(2)
+        for key in ("a", "b", "c"):
+            cache.add(key)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.add("a") is True
+
+
+class TestGossipDedup:
+    def test_repeated_block_id_dropped(self):
+        network = _ring()
+        first = network.propagate("n0", block_id="blk-1")
+        assert first is not None
+        assert network.propagate("n0", block_id="blk-1") is None
+        # A different origin re-flooding the same block is still a dup.
+        assert network.propagate("n3", block_id="blk-1") is None
+
+    def test_duplicate_drop_counter(self):
+        with obs.instrumented() as state:
+            network = _ring()
+            network.propagate("n0", block_id="blk-1")
+            network.propagate("n0", block_id="blk-1")
+            network.propagate("n1", block_id="blk-1")
+        counters = state.registry.snapshot()["counters"]
+        assert counters["gossip.duplicate_drops"] == 2
+
+    def test_without_block_id_every_call_floods(self):
+        network = _ring()
+        assert network.propagate("n0") is not None
+        assert network.propagate("n0") is not None
+
+    def test_evicted_id_refloods(self):
+        # Capacity 8: flooding 9 distinct ids evicts the first, which
+        # then floods again — the documented (and counted) trade-off.
+        network = _ring()
+        for i in range(9):
+            assert network.propagate("n0", block_id=f"blk{i}") is not None
+        assert network.seen_cache().evictions == 1
+        assert network.propagate("n0", block_id="blk0") is not None
+
+    def test_default_capacity(self):
+        network = GossipNetwork()
+        assert network.seen_cache().capacity == DEFAULT_SEEN_CAPACITY

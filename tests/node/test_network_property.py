@@ -1,0 +1,101 @@
+"""Property suite: honest nodes converge under arbitrary seeded faults.
+
+Hypothesis drives the virtual transport through seeded loss,
+duplication and reordering and asserts the two invariants the paper's
+network model rests on:
+
+* **Convergence** — every honest node ends with the same head, the
+  same byte-identical chain state root, and the same mempool.
+* **Trace integrity** — every injected transaction yields exactly one
+  lifecycle trace, and that trace is monotonic in simulated time no
+  matter how the network shuffled its frames.
+
+Networks are deliberately tiny (3 nodes, height 2, scaled-down
+workload) so each example costs well under a second; the fault space
+is where the value is, not the network size.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.node import (
+    FaultProfile,
+    NetworkConfig,
+    NodeNetwork,
+    build_node_txs,
+)
+from repro.workload.profiles import PROFILES_BY_NAME
+
+_EXAMPLES = 8
+
+fault_profiles = st.builds(
+    FaultProfile,
+    loss=st.floats(min_value=0.0, max_value=0.25),
+    duplicate=st.floats(min_value=0.0, max_value=0.25),
+    reorder=st.floats(min_value=0.0, max_value=0.5),
+)
+
+
+def _run(seed: int, faults: FaultProfile):
+    config = NetworkConfig(
+        nodes=3, height=2, workload_blocks=2, scale=0.15,
+        seed=seed, faults=faults, max_sim_time=300.0,
+    )
+    network = NodeNetwork(config)
+    with obs.instrumented() as state:
+        result = network.run()
+    return config, result, state
+
+
+@settings(
+    max_examples=_EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    faults=fault_profiles,
+)
+def test_honest_nodes_converge_to_identical_state(seed, faults):
+    config, result, _state = _run(seed, faults)
+    assert result.converged, (
+        f"seed={seed} faults={faults}: {result.reason}"
+    )
+    roots = {s.chain_root for s in result.snapshots}
+    assert len(roots) == 1, f"seed={seed}: state roots diverged {roots}"
+    assert len({s.head_hash for s in result.snapshots}) == 1
+    assert len({s.pool_hashes for s in result.snapshots}) == 1
+    assert not any(s.diverged for s in result.snapshots)
+
+
+@settings(
+    max_examples=_EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    faults=fault_profiles,
+)
+def test_one_monotonic_trace_per_tx_under_faults(seed, faults):
+    config, result, state = _run(seed, faults)
+    assert result.converged, result.reason
+    txs = build_node_txs(
+        PROFILES_BY_NAME[config.chain],
+        blocks=config.workload_blocks,
+        seed=config.seed,
+        scale=config.scale,
+    )
+    traces = state.lifecycle.traces()
+    assert {t.trace_id for t in traces} == {tx.tx_hash for tx in txs}
+    assert len(traces) == len(txs)
+    for trace in traces:
+        assert trace.is_monotonic(), (
+            f"seed={seed}: non-monotonic trace {trace.trace_id}"
+        )
+        assert trace.events[0].stage == "admitted"
+        if trace.closed:
+            assert trace.outcome == "committed"

@@ -1,0 +1,210 @@
+"""The virtual discrete-event scheduler: ordering, queues, clocks.
+
+These tests pin the properties the whole node subsystem leans on —
+``(time, seq)`` wake order, zero wall-clock dependence, queue fairness,
+and deadlock detection — plus the asyncio runtime's surface parity.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.node.runtime import AsyncioRuntime, VirtualRuntime
+
+
+class TestVirtualRuntime:
+    def test_sleep_orders_by_deadline(self):
+        runtime = VirtualRuntime()
+        log: list[tuple[str, float]] = []
+
+        async def sleeper(name: str, delay: float) -> None:
+            await runtime.sleep(delay)
+            log.append((name, runtime.now()))
+
+        async def main() -> None:
+            runtime.spawn(sleeper("late", 3.0))
+            runtime.spawn(sleeper("early", 1.0))
+            runtime.spawn(sleeper("mid", 2.0))
+            await runtime.sleep(5.0)
+
+        runtime.run_until_complete(main())
+        assert log == [("early", 1.0), ("mid", 2.0), ("late", 3.0)]
+
+    def test_simultaneous_wakes_preserve_spawn_order(self):
+        runtime = VirtualRuntime()
+        log: list[str] = []
+
+        async def worker(name: str) -> None:
+            await runtime.sleep(1.0)
+            log.append(name)
+
+        async def main() -> None:
+            for name in ("a", "b", "c", "d"):
+                runtime.spawn(worker(name))
+            await runtime.sleep(2.0)
+
+        runtime.run_until_complete(main())
+        assert log == ["a", "b", "c", "d"]
+
+    def test_no_wall_clock_dependence(self):
+        # A thousand simulated seconds must cost (almost) no real time.
+        runtime = VirtualRuntime()
+
+        async def main() -> float:
+            await runtime.sleep(1000.0)
+            return runtime.now()
+
+        started = time.perf_counter()
+        result = runtime.run_until_complete(main())
+        elapsed = time.perf_counter() - started
+        assert result == 1000.0
+        assert elapsed < 1.0
+
+    def test_queue_roundtrip_and_fifo(self):
+        runtime = VirtualRuntime()
+        queue = runtime.new_queue()
+        got: list[object] = []
+
+        async def consumer() -> None:
+            for _ in range(3):
+                got.append(await queue.get())
+
+        async def main() -> None:
+            runtime.spawn(consumer())
+            queue.put_nowait(1)
+            queue.put_nowait(2)
+            await runtime.sleep(0.1)
+            queue.put_nowait(3)
+            await runtime.sleep(0.1)
+
+        runtime.run_until_complete(main())
+        assert got == [1, 2, 3]
+
+    def test_queue_wakes_parked_consumer(self):
+        runtime = VirtualRuntime()
+        queue = runtime.new_queue()
+        woken_at: list[float] = []
+
+        async def consumer() -> None:
+            woken_at.append((await queue.get(), runtime.now()))
+
+        async def main() -> None:
+            runtime.spawn(consumer())
+            await runtime.sleep(4.0)
+            queue.put_nowait("item")
+            await runtime.sleep(0.1)
+
+        runtime.run_until_complete(main())
+        assert woken_at == [("item", 4.0)]
+
+    def test_call_later_fires_at_deadline(self):
+        runtime = VirtualRuntime()
+        fired: list[float] = []
+
+        async def main() -> None:
+            runtime.call_later(2.5, lambda: fired.append(runtime.now()))
+            await runtime.sleep(5.0)
+
+        runtime.run_until_complete(main())
+        assert fired == [2.5]
+
+    def test_deadlock_detected(self):
+        runtime = VirtualRuntime()
+        queue = runtime.new_queue()
+
+        async def main() -> None:
+            await queue.get()  # nobody will ever put
+
+        with pytest.raises(RuntimeError, match="deadlock"):
+            runtime.run_until_complete(main())
+
+    def test_foreign_awaitable_rejected(self):
+        import asyncio
+
+        runtime = VirtualRuntime()
+
+        async def main() -> None:
+            await asyncio.sleep(0)
+
+        with pytest.raises(RuntimeError, match="non-virtual"):
+            runtime.run_until_complete(main())
+
+    def test_service_loops_closed_after_main_returns(self):
+        runtime = VirtualRuntime()
+        queue = runtime.new_queue()
+
+        async def forever() -> None:
+            while True:
+                await queue.get()
+
+        async def main() -> str:
+            runtime.spawn(forever())
+            await runtime.sleep(1.0)
+            return "done"
+
+        assert runtime.run_until_complete(main()) == "done"
+        assert not runtime._live
+
+    def test_determinism_across_runs(self):
+        def run() -> list:
+            runtime = VirtualRuntime()
+            log: list = []
+            queue = runtime.new_queue()
+
+            async def producer() -> None:
+                for i in range(5):
+                    await runtime.sleep(0.3)
+                    queue.put_nowait(i)
+
+            async def consumer(name: str) -> None:
+                while True:
+                    log.append((name, await queue.get(), runtime.now()))
+
+            async def main() -> None:
+                runtime.spawn(producer())
+                runtime.spawn(consumer("x"))
+                runtime.spawn(consumer("y"))
+                await runtime.sleep(2.0)
+
+            runtime.run_until_complete(main())
+            return log
+
+        assert run() == run()
+
+
+class TestAsyncioRuntime:
+    def test_same_surface_runs_real_coroutines(self):
+        runtime = AsyncioRuntime()
+        log: list[str] = []
+
+        async def worker() -> None:
+            await runtime.sleep(0.01)
+            log.append("worker")
+
+        async def main() -> float:
+            queue = runtime.new_queue()
+            runtime.spawn(worker())
+            queue.put_nowait("hello")
+            assert await queue.get() == "hello"
+            await runtime.sleep(0.05)
+            return runtime.now()
+
+        now = runtime.run_until_complete(main())
+        assert log == ["worker"]
+        assert now >= 0.05
+        assert runtime.is_virtual is False
+
+    def test_leftover_tasks_cancelled(self):
+        runtime = AsyncioRuntime()
+
+        async def forever() -> None:
+            while True:
+                await runtime.sleep(60.0)
+
+        async def main() -> str:
+            runtime.spawn(forever())
+            return "done"
+
+        assert runtime.run_until_complete(main()) == "done"

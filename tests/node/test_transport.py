@@ -1,0 +1,123 @@
+"""Transport contract tests: seeded faults and the TCP framing path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.node.runtime import AsyncioRuntime, VirtualRuntime
+from repro.node.transport import (
+    FaultProfile,
+    Frame,
+    MemoryTransport,
+    TcpTransport,
+)
+
+
+def _deliveries(seed: int, faults: FaultProfile, n: int = 200):
+    """Send *n* frames a->b under the virtual clock; return the
+    arrival log and sender-side stats."""
+    runtime = VirtualRuntime()
+    transport = MemoryTransport(runtime, faults=faults, seed=seed)
+    transport.register("a")
+    inbox = transport.register("b")
+    log: list[tuple[int, float]] = []
+
+    async def consumer() -> None:
+        while True:
+            frame = await inbox.get()
+            log.append((frame.payload, runtime.now()))
+
+    async def main() -> None:
+        runtime.spawn(consumer())
+        for i in range(n):
+            transport.send("b", Frame("tx", "a", i))
+        await runtime.sleep(60.0)
+
+    runtime.run_until_complete(main())
+    return log, transport.stats
+
+
+class TestFaultProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultProfile(latency=0.0)
+        with pytest.raises(ValueError):
+            FaultProfile(loss=1.0)
+        with pytest.raises(ValueError):
+            FaultProfile(jitter=1.5)
+        with pytest.raises(ValueError):
+            FaultProfile(reorder_delay=-1.0)
+
+
+class TestMemoryTransport:
+    def test_lossless_default_delivers_everything(self):
+        log, stats = _deliveries(7, FaultProfile(jitter=0.0))
+        assert [payload for payload, _ in log] == list(range(200))
+        assert stats.sent == 200
+        assert stats.lost == 0
+
+    def test_fault_schedule_is_seed_deterministic(self):
+        faults = FaultProfile(loss=0.2, duplicate=0.1, reorder=0.3)
+        first = _deliveries(42, faults)
+        second = _deliveries(42, faults)
+        assert first[0] == second[0]
+        assert (first[1].lost, first[1].duplicated) == (
+            second[1].lost, second[1].duplicated,
+        )
+
+    def test_different_seed_different_schedule(self):
+        faults = FaultProfile(loss=0.2, duplicate=0.1, reorder=0.3)
+        first = _deliveries(1, faults)
+        second = _deliveries(2, faults)
+        assert first[0] != second[0]
+
+    def test_loss_drops_and_counts(self):
+        log, stats = _deliveries(9, FaultProfile(loss=0.5))
+        assert stats.lost > 0
+        assert len(log) == 200 - stats.lost
+
+    def test_duplication_delivers_extra_copies(self):
+        log, stats = _deliveries(9, FaultProfile(duplicate=0.5))
+        assert stats.duplicated > 0
+        assert len(log) == 200 + stats.duplicated
+
+    def test_reorder_shuffles_arrival_order(self):
+        log, _stats = _deliveries(
+            5, FaultProfile(reorder=0.5, jitter=0.0)
+        )
+        payloads = [payload for payload, _ in log]
+        assert sorted(payloads) == list(range(200))
+        assert payloads != list(range(200))
+
+    def test_unknown_destination(self):
+        runtime = VirtualRuntime()
+        transport = MemoryTransport(runtime)
+        with pytest.raises(KeyError):
+            transport.send("ghost", Frame("tx", "a", 1))
+
+    def test_duplicate_registration_rejected(self):
+        runtime = VirtualRuntime()
+        transport = MemoryTransport(runtime)
+        transport.register("a")
+        with pytest.raises(ValueError):
+            transport.register("a")
+
+
+class TestTcpTransport:
+    def test_roundtrip_preserves_order_and_payload(self):
+        runtime = AsyncioRuntime()
+
+        async def main() -> list:
+            transport = TcpTransport(runtime)
+            transport.register("a")
+            inbox = transport.register("b")
+            await transport.start()
+            for i in range(50):
+                transport.send("b", Frame("tx", "a", {"i": i}))
+            got = [await inbox.get() for _ in range(50)]
+            await transport.close()
+            return got
+
+        frames = runtime.run_until_complete(main())
+        assert [frame.payload["i"] for frame in frames] == list(range(50))
+        assert all(frame.src == "a" for frame in frames)

@@ -1,0 +1,239 @@
+"""Tail-based sampling: slow traces survive the head lottery.
+
+Contract under test: with ``tail_seconds`` set, a head-dropped trace
+whose simulated duration reaches the threshold is promoted to a full
+trace at close — original timestamps, monotonic, sealed — while fast
+head-dropped traces still cost nothing.  Promotion is exact-counted
+(``lifecycle.sampled.tail_kept`` / ``tail_evicted``) and the merged
+head+tail output is deterministic: same workload, same trace set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampling import (
+    DEFAULT_TAIL_BUFFER,
+    SampledLifecycleTracer,
+    SampleRate,
+    sample_decision,
+)
+
+RATE = SampleRate(1, 10)
+
+
+def _dropped_ids(n: int, prefix: str = "tx") -> list[str]:
+    """The first *n* ids the head lottery drops at RATE."""
+    out = []
+    i = 0
+    while len(out) < n:
+        candidate = f"{prefix}{i}"
+        if not sample_decision(candidate, RATE):
+            out.append(candidate)
+        i += 1
+    return out
+
+
+def _kept_id() -> str:
+    i = 0
+    while not sample_decision(f"tx{i}", RATE):
+        i += 1
+    return f"tx{i}"
+
+
+def _drive(tracer: SampledLifecycleTracer, tx: str,
+           *, start: float, end: float) -> None:
+    tracer.set_clock(start)
+    tracer.begin(tx, fee=7)
+    tracer.set_clock(start + (end - start) / 2)
+    tracer.record(tx, "included")
+    tracer.set_clock(end)
+    tracer.record(tx, "committed")
+
+
+class TestValidation:
+    def test_negative_tail_rejected(self):
+        with pytest.raises(ValueError):
+            SampledLifecycleTracer(RATE, tail_seconds=-1.0)
+
+    def test_zero_capacity_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            SampledLifecycleTracer(RATE, tail_buffer=0)
+
+    def test_defaults_exported(self):
+        tracer = SampledLifecycleTracer(RATE)
+        assert tracer.tail_seconds is None
+        assert DEFAULT_TAIL_BUFFER > 0
+
+
+class TestPromotion:
+    def test_slow_head_dropped_trace_promoted(self):
+        tracer = SampledLifecycleTracer(RATE, tail_seconds=5.0)
+        slow = _dropped_ids(1)[0]
+        _drive(tracer, slow, start=0.0, end=10.0)
+        trace = tracer.trace(slow)
+        assert trace is not None and trace.closed
+        assert [e.stage for e in trace.events] == [
+            "admitted", "included", "committed",
+        ]
+        # Original simulated timestamps, not promotion-time ones.
+        assert [e.at for e in trace.events] == [0.0, 5.0, 10.0]
+        assert trace.is_monotonic()
+        assert tracer.tail_kept_total == 1
+
+    def test_fast_head_dropped_trace_stays_dropped(self):
+        tracer = SampledLifecycleTracer(RATE, tail_seconds=5.0)
+        fast = _dropped_ids(1)[0]
+        _drive(tracer, fast, start=0.0, end=1.0)
+        assert tracer.trace(fast) is None
+        assert tracer.tail_kept_total == 0
+        assert tracer.provisional_open == 0
+
+    def test_threshold_is_inclusive(self):
+        tracer = SampledLifecycleTracer(RATE, tail_seconds=5.0)
+        edge = _dropped_ids(1)[0]
+        _drive(tracer, edge, start=0.0, end=5.0)
+        assert tracer.trace(edge) is not None
+
+    def test_tail_zero_keeps_every_closed_trace(self):
+        tracer = SampledLifecycleTracer(RATE, tail_seconds=0.0)
+        ids = _dropped_ids(5)
+        for i, tx in enumerate(ids):
+            _drive(tracer, tx, start=float(i), end=float(i) + 0.1)
+        assert tracer.tail_kept_total == 5
+        assert all(tracer.trace(tx) is not None for tx in ids)
+
+    def test_head_kept_traces_unaffected(self):
+        tracer = SampledLifecycleTracer(RATE, tail_seconds=5.0)
+        kept = _kept_id()
+        _drive(tracer, kept, start=0.0, end=0.5)
+        trace = tracer.trace(kept)
+        assert trace is not None and trace.closed
+        # Head-kept, not a tail promotion.
+        assert tracer.tail_kept_total == 0
+
+    def test_dropped_terminal_without_begin_ignored(self):
+        tracer = SampledLifecycleTracer(RATE, tail_seconds=0.0)
+        orphan = _dropped_ids(1)[0]
+        assert tracer.record(orphan, "committed") is None
+        assert tracer.trace(orphan) is None
+        assert tracer.tail_kept_total == 0
+
+    def test_duplicate_provisional_begin_keeps_original_root(self):
+        # Mempool.submit dedups begins with ``trace() is None``, which
+        # cannot see the provisional buffer — a tx admitted at several
+        # nodes re-begins here and must NOT raise or reset the root.
+        tracer = SampledLifecycleTracer(RATE, tail_seconds=5.0)
+        tx = _dropped_ids(1)[0]
+        tracer.begin(tx, at=0.0)
+        tracer.begin(tx, at=3.0)  # second node, later clock: no-op
+        assert tracer.provisional_open == 1
+        tracer.record(tx, "committed", at=6.0)
+        trace = tracer.trace(tx)
+        assert trace is not None
+        assert trace.events[0].at == 0.0  # original root span kept
+
+
+class TestBoundedBuffer:
+    def test_buffer_stays_bounded_with_evictions_counted(self):
+        tracer = SampledLifecycleTracer(
+            RATE, tail_seconds=1.0, tail_buffer=8
+        )
+        ids = _dropped_ids(50)
+        for tx in ids:
+            tracer.begin(tx)  # never closed: worst-case soak
+        assert tracer.provisional_open == 8
+        assert tracer.tail_evicted_total == 42
+
+    def test_evicted_trace_loses_tail_chance_cleanly(self):
+        tracer = SampledLifecycleTracer(
+            RATE, tail_seconds=1.0, tail_buffer=1
+        )
+        first, second = _dropped_ids(2)
+        tracer.set_clock(0.0)
+        tracer.begin(first)
+        tracer.begin(second)  # evicts first
+        tracer.set_clock(100.0)
+        tracer.record(first, "committed")  # slow, but buffer is gone
+        assert tracer.trace(first) is None
+        tracer.record(second, "committed")
+        assert tracer.trace(second) is not None
+
+
+class TestCounters:
+    def test_exact_tail_counters_flushed(self):
+        registry = MetricsRegistry()
+        tracer = SampledLifecycleTracer(
+            RATE, registry, tail_seconds=5.0, tail_buffer=2
+        )
+        slow, fast, a, b, c = _dropped_ids(5)
+        _drive(tracer, slow, start=0.0, end=10.0)
+        _drive(tracer, fast, start=10.0, end=10.5)
+        for tx in (a, b, c):  # c's begin evicts a
+            tracer.begin(tx)
+        tracer.flush_counts()
+        counters = registry.snapshot()["counters"]
+        assert counters["lifecycle.sampled.tail_kept"] == 1
+        assert counters["lifecycle.sampled.tail_evicted"] == 1
+        # Head counters keep their exact head-decision semantics.
+        assert counters["lifecycle.sampled.dropped"] == 5
+
+    def test_reads_are_flush_points(self):
+        registry = MetricsRegistry()
+        tracer = SampledLifecycleTracer(RATE, registry, tail_seconds=0.0)
+        tx = _dropped_ids(1)[0]
+        _drive(tracer, tx, start=0.0, end=1.0)
+        tracer.closed_traces()
+        counters = registry.snapshot()["counters"]
+        assert counters["lifecycle.sampled.tail_kept"] == 1
+
+    def test_clear_resets_tail_state(self):
+        tracer = SampledLifecycleTracer(RATE, tail_seconds=0.0)
+        tx = _dropped_ids(1)[0]
+        _drive(tracer, tx, start=0.0, end=1.0)
+        tracer.begin(_dropped_ids(2)[1])
+        tracer.clear()
+        assert tracer.tail_kept_total == 0
+        assert tracer.provisional_open == 0
+
+
+class TestDeterministicMerge:
+    def _workload(self, tracer: SampledLifecycleTracer) -> list:
+        # 60 txs with durations spread around the threshold; the
+        # resulting trace set mixes head-kept and tail-promoted.
+        for i in range(60):
+            tx = f"merge{i}"
+            start = float(i)
+            _drive(tracer, tx, start=start, end=start + (i % 7))
+        return sorted(
+            (t.as_dict() for t in tracer.traces()),
+            key=lambda d: d["trace_id"],
+        )
+
+    def test_same_workload_same_merged_trace_set(self):
+        first = self._workload(
+            SampledLifecycleTracer(RATE, tail_seconds=3.0)
+        )
+        second = self._workload(
+            SampledLifecycleTracer(RATE, tail_seconds=3.0)
+        )
+        assert first == second
+        trace_ids = {d["trace_id"] for d in first}
+        head_kept = {
+            tx for tx in trace_ids if sample_decision(tx, RATE)
+        }
+        tail_only = trace_ids - head_kept
+        assert head_kept and tail_only, (
+            "workload must exercise both head and tail paths"
+        )
+
+    def test_tail_promoted_equals_head_kept_shape(self):
+        # A promoted trace must be indistinguishable from what a full
+        # tracer would have recorded for the same events.
+        full = SampledLifecycleTracer(SampleRate(1, 1))
+        tailed = SampledLifecycleTracer(RATE, tail_seconds=0.0)
+        tx = _dropped_ids(1)[0]
+        _drive(full, tx, start=2.0, end=9.0)
+        _drive(tailed, tx, start=2.0, end=9.0)
+        assert full.trace(tx).as_dict() == tailed.trace(tx).as_dict()
